@@ -1,0 +1,65 @@
+// Shared setup for the experiment harnesses: the evaluation's standard
+// machine, workloads, and formatting helpers. Every bench binary uses these
+// so the numbers across tables/figures describe the same system.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "cluster/system_config.hpp"
+#include "common/csv.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "core/sweep.hpp"
+#include "workload/characterize.hpp"
+
+namespace dmsched::bench {
+
+/// Evaluation constants (Table II): all experiments run against the
+/// 1024-node reference machine and its disaggregated variants.
+constexpr std::size_t kEvalJobs = 4000;
+constexpr double kEvalLoad = 0.85;
+constexpr std::uint64_t kEvalSeed = 20240901;
+inline Bytes eval_reference_mem() { return gib(std::int64_t{256}); }
+
+/// The evaluation workload for one model at standard scale.
+inline Trace eval_trace(WorkloadModel model, std::size_t jobs = kEvalJobs,
+                        std::uint64_t seed = kEvalSeed) {
+  return make_model_trace(model, jobs, seed,
+                          reference_config().total_nodes,
+                          eval_reference_mem(), kEvalLoad);
+}
+
+/// A standard experiment: mem-aware defaults, evaluation slowdown model.
+inline ExperimentConfig eval_config(ClusterConfig cluster,
+                                    SchedulerKind scheduler,
+                                    WorkloadModel model) {
+  ExperimentConfig c;
+  c.cluster = std::move(cluster);
+  c.scheduler = scheduler;
+  c.model = model;
+  c.jobs = kEvalJobs;
+  c.seed = kEvalSeed;
+  c.target_load = kEvalLoad;
+  c.workload_reference_mem = eval_reference_mem();
+  c.label = strformat("%s/%s/%s", to_string(scheduler), c.cluster.name.c_str(),
+                      to_string(model));
+  return c;
+}
+
+/// Formatting helpers for table cells.
+inline std::string f1(double x) { return strformat("%.1f", x); }
+inline std::string f2(double x) { return strformat("%.2f", x); }
+inline std::string f3(double x) { return strformat("%.3f", x); }
+inline std::string pct(double x) { return strformat("%.1f%%", 100.0 * x); }
+inline std::string num(std::size_t n) {
+  return strformat("%zu", n);
+}
+
+/// CSV mirror of a bench's table: written beside the binary as
+/// `<name>.csv` so plots can be regenerated without re-running.
+inline CsvWriter csv_for(const std::string& bench_name) {
+  return CsvWriter(bench_name + ".csv");
+}
+
+}  // namespace dmsched::bench

@@ -1,0 +1,54 @@
+// Figure 4 — how much pool is enough?
+//
+// Local memory fixed at the headline 128 GiB point; rack-pool capacity
+// swept from 0 to 8 TiB. Expected shape: steep recovery at small pools
+// (rejections vanish, wait collapses) then diminishing returns past the
+// workload's aggregate deficit — the knee procurement cares about.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dmsched;
+  using namespace dmsched::bench;
+
+  const std::vector<std::int64_t> pools = {0, 512, 1024, 2048, 4096, 8192};
+  ConsoleTable table(
+      "Figure 4 — rack-pool size sweep (local = 128 GiB, scheduler: "
+      "mem-easy)");
+  table.columns({"workload", "pool/rack (GiB)", "mean wait (h)", "mean bsld",
+                 "util", "rejected", "far-jobs", "pool util", "pool peak"});
+  auto csv = csv_for("fig4_pool_size_sweep");
+  csv.header({"workload", "pool_gib", "mean_wait_h", "mean_bsld",
+              "utilization", "rejected", "frac_far", "pool_util",
+              "pool_peak"});
+
+  for (const WorkloadModel model : all_workload_models()) {
+    const Trace trace = eval_trace(model);
+    std::vector<ExperimentConfig> configs;
+    for (const std::int64_t pool : pools) {
+      configs.push_back(eval_config(disaggregated_config(128, pool),
+                                    SchedulerKind::kMemAwareEasy, model));
+    }
+    const auto results = run_sweep_on_trace(configs, trace);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const RunMetrics& m = results[i];
+      table.row({to_string(model), num(static_cast<std::size_t>(pools[i])),
+                 f2(m.mean_wait_hours), f2(m.mean_bsld),
+                 pct(m.node_utilization), num(m.rejected),
+                 pct(m.frac_jobs_far), pct(m.rack_pool_utilization),
+                 pct(m.rack_pool_peak)});
+      csv.add(to_string(model))
+          .add(pools[i])
+          .add(m.mean_wait_hours)
+          .add(m.mean_bsld)
+          .add(m.node_utilization)
+          .add(m.rejected)
+          .add(m.frac_jobs_far)
+          .add(m.rack_pool_utilization)
+          .add(m.rack_pool_peak);
+      csv.end_row();
+    }
+    table.separator();
+  }
+  table.print();
+  return 0;
+}

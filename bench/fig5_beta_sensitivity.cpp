@@ -1,0 +1,65 @@
+// Figure 5 — sensitivity to the far-memory penalty coefficient β.
+//
+// The hardware-facing sensitivity study: how do the schedulers degrade as
+// far memory gets slower? β_rack sweeps 0 → 1.0 (β_global = 1.5·β_rack).
+// Expected shape: at β=0 far memory is free and everyone is happy; as β
+// grows, dilated runtimes feed back into queueing. The adaptive policy
+// degrades most gracefully because it stops spilling when dilation costs
+// more than waiting.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dmsched;
+  using namespace dmsched::bench;
+
+  const std::vector<double> betas = {0.0, 0.15, 0.30, 0.50, 0.75, 1.00};
+  const std::vector<SchedulerKind> kinds = {SchedulerKind::kEasy,
+                                            SchedulerKind::kMemAwareEasy,
+                                            SchedulerKind::kAdaptive};
+  // A global pool in addition to rack pools so adaptive routing has a real
+  // choice between tiers.
+  const ClusterConfig machine = disaggregated_config(128, 1024, 8192);
+  const Trace trace = eval_trace(WorkloadModel::kMixed);
+
+  ConsoleTable table(
+      "Figure 5 — beta sensitivity (mixed workload, " + machine.name + ")");
+  table.columns({"beta_rack", "scheduler", "mean bsld", "p95 bsld",
+                 "mean wait (h)", "mean dilation", "far-jobs", "global-pool "
+                 "util"});
+  auto csv = csv_for("fig5_beta_sensitivity");
+  csv.header({"beta_rack", "scheduler", "mean_bsld", "p95_bsld",
+              "mean_wait_h", "mean_dilation", "frac_far", "global_util"});
+
+  std::vector<ExperimentConfig> configs;
+  for (const double beta : betas) {
+    for (const SchedulerKind kind : kinds) {
+      ExperimentConfig c = eval_config(machine, kind, WorkloadModel::kMixed);
+      c.engine.slowdown.beta_rack = beta;
+      c.engine.slowdown.beta_global = 1.5 * beta;
+      configs.push_back(std::move(c));
+    }
+  }
+  const auto results = run_sweep_on_trace(configs, trace);
+
+  std::size_t i = 0;
+  for (const double beta : betas) {
+    for (const SchedulerKind kind : kinds) {
+      const RunMetrics& m = results[i++];
+      table.row({f2(beta), to_string(kind), f2(m.mean_bsld), f2(m.p95_bsld),
+                 f2(m.mean_wait_hours), f3(m.mean_dilation),
+                 pct(m.frac_jobs_far), pct(m.global_pool_utilization)});
+      csv.add(beta)
+          .add(to_string(kind))
+          .add(m.mean_bsld)
+          .add(m.p95_bsld)
+          .add(m.mean_wait_hours)
+          .add(m.mean_dilation)
+          .add(m.frac_jobs_far)
+          .add(m.global_pool_utilization);
+      csv.end_row();
+    }
+    table.separator();
+  }
+  table.print();
+  return 0;
+}

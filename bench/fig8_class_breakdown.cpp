@@ -1,0 +1,103 @@
+// Figure 8 — who pays for disaggregation?
+//
+// Per-job-class breakdown (width × memory intensity) of bounded slowdown
+// and dilation on the reference machine vs the headline disaggregated
+// machine. Expected shape: memory-light classes are unaffected; the
+// memory-heavy classes trade modest dilation for dramatically better
+// access (they were unrunnable or queue-stuck before).
+#include "bench_util.hpp"
+
+#include <array>
+
+namespace {
+
+using namespace dmsched;
+
+struct ClassDef {
+  const char* name;
+  std::int32_t nodes_lo;
+  std::int32_t nodes_hi;
+  bool mem_heavy;  // per-node footprint > 50% of reference (128 GiB)
+};
+
+constexpr std::array<ClassDef, 6> kClasses = {{
+    {"narrow/light", 1, 8, false},
+    {"narrow/heavy", 1, 8, true},
+    {"mid/light", 9, 128, false},
+    {"mid/heavy", 9, 128, true},
+    {"wide/light", 129, 4096, false},
+    {"wide/heavy", 129, 4096, true},
+}};
+
+bool in_class(const JobOutcome& o, const ClassDef& c) {
+  const bool heavy = o.mem_per_node > gib(std::int64_t{128});
+  return o.nodes >= c.nodes_lo && o.nodes <= c.nodes_hi &&
+         heavy == c.mem_heavy;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dmsched;
+  using namespace dmsched::bench;
+
+  const Trace trace = eval_trace(WorkloadModel::kMixed);
+  const std::vector<ClusterConfig> machines = {
+      reference_config(), disaggregated_config(128, 2048)};
+
+  ConsoleTable table(
+      "Figure 8 — per-class outcomes (mixed workload, mem-easy)");
+  table.columns({"machine", "class", "jobs", "rejected", "mean wait (h)",
+                 "mean bsld", "mean dilation", "far-jobs"});
+  auto csv = csv_for("fig8_class_breakdown");
+  csv.header({"machine", "class", "jobs", "rejected", "mean_wait_h",
+              "mean_bsld", "mean_dilation", "frac_far"});
+
+  for (const ClusterConfig& machine : machines) {
+    const RunMetrics m = run_experiment(
+        eval_config(machine, SchedulerKind::kMemAwareEasy,
+                    WorkloadModel::kMixed),
+        trace);
+    for (const ClassDef& cls : kClasses) {
+      std::size_t jobs = 0;
+      std::size_t rejected = 0;
+      std::size_t far_jobs = 0;
+      double wait_sum = 0.0;
+      double bsld_sum = 0.0;
+      double dil_sum = 0.0;
+      std::size_t started = 0;
+      for (const JobOutcome& o : m.jobs) {
+        if (!in_class(o, cls)) continue;
+        ++jobs;
+        if (o.fate == JobFate::kRejected) {
+          ++rejected;
+          continue;
+        }
+        ++started;
+        wait_sum += o.wait().hours();
+        bsld_sum += o.bounded_slowdown();
+        dil_sum += o.dilation;
+        if (o.used_far_memory()) ++far_jobs;
+      }
+      const double n = started > 0 ? static_cast<double>(started) : 1.0;
+      table.row({machine.name, cls.name, num(jobs), num(rejected),
+                 f2(wait_sum / n), f2(bsld_sum / n),
+                 f3(started > 0 ? dil_sum / n : 1.0),
+                 pct(started > 0 ? static_cast<double>(far_jobs) / n : 0.0)});
+      csv.add(machine.name)
+          .add(cls.name)
+          .add(jobs)
+          .add(rejected)
+          .add(wait_sum / n)
+          .add(bsld_sum / n)
+          .add(started > 0 ? dil_sum / n : 1.0)
+          .add(started > 0 ? static_cast<double>(far_jobs) / n : 0.0);
+      csv.end_row();
+    }
+    table.separator();
+  }
+  table.print();
+  std::puts("(heavy = per-node footprint above 128 GiB, half the reference "
+            "node's memory)");
+  return 0;
+}

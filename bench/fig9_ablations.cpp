@@ -1,0 +1,158 @@
+// Figure 9 — ablations over the design choices DESIGN.md calls out.
+//
+//  (a) node-selection policy       — does rack-compact placement matter?
+//  (b) pool routing                — strict rack locality vs global overflow
+//  (c) pool topology               — 16 rack pools vs one global pool of the
+//                                    same total capacity
+//  (d) backfill candidate ordering — queue order vs shortest vs best-mem-fit
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace dmsched;
+using namespace dmsched::bench;
+
+void emit(ConsoleTable& table, CsvWriter& csv, const std::string& axis,
+          const std::string& variant, const RunMetrics& m) {
+  table.row({axis, variant, f2(m.mean_wait_hours), f2(m.mean_bsld),
+             pct(m.node_utilization), pct(m.frac_jobs_far),
+             f3(m.mean_dilation), num(m.rejected)});
+  csv.add(axis)
+      .add(variant)
+      .add(m.mean_wait_hours)
+      .add(m.mean_bsld)
+      .add(m.node_utilization)
+      .add(m.frac_jobs_far)
+      .add(m.mean_dilation)
+      .add(m.rejected);
+  csv.end_row();
+}
+
+}  // namespace
+
+int main() {
+  const ClusterConfig rack_machine = disaggregated_config(128, 2048);
+  const Trace trace = eval_trace(WorkloadModel::kMixed);
+
+  ConsoleTable table("Figure 9 — ablations (mixed workload, mem-easy, " +
+                     rack_machine.name + ")");
+  table.columns({"axis", "variant", "mean wait (h)", "mean bsld", "util",
+                 "far-jobs", "dilation", "rejected"});
+  auto csv = csv_for("fig9_ablations");
+  csv.header({"axis", "variant", "mean_wait_h", "mean_bsld", "utilization",
+              "frac_far", "mean_dilation", "rejected"});
+
+  // (a) node selection
+  {
+    std::vector<ExperimentConfig> configs;
+    const std::vector<NodeSelection> selections = {
+        NodeSelection::kFirstFit, NodeSelection::kPackRacks,
+        NodeSelection::kSpreadRacks, NodeSelection::kPoolAware};
+    for (const NodeSelection sel : selections) {
+      auto c = eval_config(rack_machine, SchedulerKind::kMemAwareEasy,
+                           WorkloadModel::kMixed);
+      c.engine.placement.selection = sel;
+      configs.push_back(std::move(c));
+    }
+    const auto results = run_sweep_on_trace(configs, trace);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      emit(table, csv, "node-selection", to_string(selections[i]),
+           results[i]);
+    }
+    table.separator();
+  }
+
+  // (b) pool routing (on a machine with both tiers so routing matters)
+  {
+    const ClusterConfig two_tier = disaggregated_config(128, 1024, 8192);
+    std::vector<ExperimentConfig> configs;
+    const std::vector<PoolRouting> routings = {PoolRouting::kRackOnly,
+                                               PoolRouting::kRackThenGlobal};
+    for (const PoolRouting routing : routings) {
+      auto c = eval_config(two_tier, SchedulerKind::kMemAwareEasy,
+                           WorkloadModel::kMixed);
+      c.engine.placement.routing = routing;
+      configs.push_back(std::move(c));
+    }
+    const auto results = run_sweep_on_trace(configs, trace);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      emit(table, csv, "pool-routing (" + two_tier.name + ")",
+           to_string(routings[i]), results[i]);
+    }
+    table.separator();
+  }
+
+  // (c) pool topology: same disaggregated bytes, rack-scoped vs global
+  {
+    const std::vector<ClusterConfig> machines = {
+        disaggregated_config(128, 2048),      // 16 × 2 TiB rack pools
+        disaggregated_config(128, 0, 32768),  // one 32 TiB global pool
+    };
+    std::vector<ExperimentConfig> configs;
+    for (const ClusterConfig& machine : machines) {
+      configs.push_back(eval_config(machine, SchedulerKind::kMemAwareEasy,
+                                    WorkloadModel::kMixed));
+    }
+    const auto results = run_sweep_on_trace(configs, trace);
+    emit(table, csv, "pool-topology", "rack pools (16×2 TiB)", results[0]);
+    emit(table, csv, "pool-topology", "global pool (1×32 TiB)", results[1]);
+    table.separator();
+  }
+
+  // (d) backfill candidate ordering
+  {
+    std::vector<ExperimentConfig> configs;
+    const std::vector<BackfillOrder> orders = {BackfillOrder::kQueueOrder,
+                                               BackfillOrder::kShortestFirst,
+                                               BackfillOrder::kBestMemFit};
+    for (const BackfillOrder order : orders) {
+      auto c = eval_config(rack_machine, SchedulerKind::kMemAwareEasy,
+                           WorkloadModel::kMixed);
+      c.mem_options.order = order;
+      configs.push_back(std::move(c));
+    }
+    const auto results = run_sweep_on_trace(configs, trace);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      emit(table, csv, "backfill-order", to_string(orders[i]), results[i]);
+    }
+    table.separator();
+  }
+
+  // (e) EASY-K reservation depth: 1 = classic EASY head protection;
+  // larger K interpolates toward conservative backfilling.
+  {
+    std::vector<ExperimentConfig> configs;
+    const std::vector<std::size_t> depths = {1, 2, 4, 8};
+    for (const std::size_t depth : depths) {
+      auto c = eval_config(rack_machine, SchedulerKind::kMemAwareEasy,
+                           WorkloadModel::kMixed);
+      c.mem_options.reservation_depth = depth;
+      configs.push_back(std::move(c));
+    }
+    const auto results = run_sweep_on_trace(configs, trace);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      emit(table, csv, "reservation-depth",
+           strformat("K=%zu", depths[i]), results[i]);
+    }
+    table.separator();
+  }
+
+  // (f) walltime enforcement: production systems kill jobs at their
+  // (dilated) limit; the default experiments let them finish to measure
+  // dilation in full.
+  {
+    std::vector<ExperimentConfig> configs;
+    for (const bool kill : {false, true}) {
+      auto c = eval_config(rack_machine, SchedulerKind::kMemAwareEasy,
+                           WorkloadModel::kMixed);
+      c.engine.kill_on_walltime = kill;
+      configs.push_back(std::move(c));
+    }
+    const auto results = run_sweep_on_trace(configs, trace);
+    emit(table, csv, "walltime-kill", "off (default)", results[0]);
+    emit(table, csv, "walltime-kill", "on", results[1]);
+  }
+
+  table.print();
+  return 0;
+}

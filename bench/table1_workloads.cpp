@@ -1,0 +1,52 @@
+// Table I — workload characteristics.
+//
+// One row per evaluation workload: scale, shape, runtime, walltime accuracy
+// and the per-node memory statistics that drive everything else (fraction
+// above half / above full local memory = the disaggregation-relevant mass).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dmsched;
+  using namespace dmsched::bench;
+
+  const ClusterConfig machine = reference_config();
+  ConsoleTable table("Table I — workload characteristics (per 4000-job trace)");
+  table.columns({"workload", "jobs", "span (h)", "load", "nodes mean/p50",
+                 "runtime p50 (h)", "estimate acc.", "mem/node p50 (GiB)",
+                 "mem p95", ">50% local", ">100% local", "users"});
+  auto csv = csv_for("table1_workloads");
+  csv.header({"workload", "jobs", "span_hours", "offered_load", "nodes_mean",
+              "nodes_p50", "runtime_p50_h", "estimate_accuracy",
+              "mem_p50_gib", "mem_p95_gib", "frac_above_half",
+              "frac_above_full", "users"});
+
+  for (const WorkloadModel model : all_workload_models()) {
+    const Trace trace = eval_trace(model);
+    const TraceStats s =
+        characterize(trace, machine.local_mem_per_node, machine.total_nodes);
+    table.row({to_string(model), num(s.job_count), f1(s.span_hours),
+               f2(s.offered_load),
+               strformat("%.1f / %.0f", s.nodes_mean, s.nodes_p50),
+               f2(s.runtime_p50_hours), f2(s.estimate_accuracy_mean),
+               f1(s.mem_per_node_p50_gib), f1(s.mem_per_node_p95_gib),
+               pct(s.frac_mem_above_half), pct(s.frac_mem_above_full),
+               num(static_cast<std::size_t>(s.distinct_users))});
+    csv.add(to_string(model))
+        .add(s.job_count)
+        .add(s.span_hours)
+        .add(s.offered_load)
+        .add(s.nodes_mean)
+        .add(s.nodes_p50)
+        .add(s.runtime_p50_hours)
+        .add(s.estimate_accuracy_mean)
+        .add(s.mem_per_node_p50_gib)
+        .add(s.mem_per_node_p95_gib)
+        .add(s.frac_mem_above_half)
+        .add(s.frac_mem_above_full)
+        .add(static_cast<std::int64_t>(s.distinct_users));
+    csv.end_row();
+  }
+  table.print();
+  std::puts("(reference node memory: 256 GiB; machine: 1024 nodes)");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table II — simulated system configurations.
+//
+// The reference machine plus every disaggregated variant used by the other
+// experiments, with total-memory accounting (what procurement would pay).
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dmsched;
+  using namespace dmsched::bench;
+
+  ConsoleTable table("Table II — system configurations");
+  table.columns({"name", "nodes", "racks", "local/node", "pool/rack",
+                 "global pool", "total local", "total pool", "total memory",
+                 "vs reference"});
+  auto csv = csv_for("table2_configs");
+  csv.header({"name", "nodes", "racks", "local_gib", "pool_per_rack_gib",
+              "global_pool_gib", "total_memory_gib", "ratio_vs_reference"});
+
+  const Bytes ref_total = reference_config().total_memory();
+  for (const ClusterConfig& c : evaluation_configs()) {
+    const Bytes local_total = c.local_mem_per_node * c.total_nodes;
+    table.row({c.name, num(static_cast<std::size_t>(c.total_nodes)),
+               num(static_cast<std::size_t>(c.racks())),
+               format_bytes(c.local_mem_per_node),
+               format_bytes(c.pool_per_rack), format_bytes(c.global_pool),
+               format_bytes(local_total), format_bytes(c.total_pool()),
+               format_bytes(c.total_memory()),
+               pct(ratio(c.total_memory(), ref_total))});
+    csv.add(c.name)
+        .add(static_cast<std::int64_t>(c.total_nodes))
+        .add(static_cast<std::int64_t>(c.racks()))
+        .add(c.local_mem_per_node.gib())
+        .add(c.pool_per_rack.gib())
+        .add(c.global_pool.gib())
+        .add(c.total_memory().gib())
+        .add(ratio(c.total_memory(), ref_total));
+    csv.end_row();
+  }
+  table.print();
+  std::puts("(slowdown model: linear, beta_rack=0.30, beta_global=0.45;\n"
+            " sensitivity multipliers 0.4 / 1.0 / 1.6)");
+  return 0;
+}

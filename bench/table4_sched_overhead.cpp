@@ -1,0 +1,161 @@
+// Table IV — scheduler decision overhead (google-benchmark).
+//
+// Two views:
+//  1. whole-trace simulation throughput per policy (events/sec, jobs/sec) —
+//     shows the simulator itself is not the bottleneck of any experiment;
+//  2. single scheduling-pass latency at a controlled queue depth — the
+//     figure a production RJMS integration would care about (passes run on
+//     every submission/completion, so microseconds matter at scale).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "sched/profile.hpp"
+
+namespace {
+
+using namespace dmsched;
+using namespace dmsched::bench;
+
+// ---------------------------------------------------------------------------
+// View 1: end-to-end simulation throughput.
+// ---------------------------------------------------------------------------
+void BM_FullSimulation(benchmark::State& state) {
+  const auto kind = static_cast<SchedulerKind>(state.range(0));
+  const auto jobs = static_cast<std::size_t>(state.range(1));
+  const Trace trace = eval_trace(WorkloadModel::kMixed, jobs);
+  const ExperimentConfig config = eval_config(
+      disaggregated_config(128, 2048), kind, WorkloadModel::kMixed);
+  std::size_t completed = 0;
+  for (auto _ : state) {
+    const RunMetrics m = run_experiment(config, trace);
+    completed = m.completed;
+    benchmark::DoNotOptimize(completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(jobs));
+  state.SetLabel(std::string(to_string(kind)) + ", " +
+                 std::to_string(completed) + " completed");
+}
+
+// ---------------------------------------------------------------------------
+// View 2: one scheduling pass at a controlled queue depth.
+// ---------------------------------------------------------------------------
+
+/// Minimal SchedContext over a half-busy machine with `depth` queued jobs.
+/// start_job is a no-op counter so one pass can be timed repeatedly without
+/// mutating the machine.
+class PassContext final : public SchedContext {
+ public:
+  PassContext(const ClusterConfig& config, std::size_t depth)
+      : config_(config), cluster_(config) {
+    Rng rng(99);
+    // Fill half the machine with running jobs of varied shapes.
+    JobId next_id = 0;
+    while (cluster_.free_nodes_total() > config_.total_nodes / 2) {
+      Job j;
+      j.id = next_id++;
+      j.nodes = static_cast<std::int32_t>(rng.uniform_int(1, 32));
+      j.mem_per_node = gib(rng.uniform(8.0, 200.0));
+      j.runtime = j.walltime = seconds(rng.uniform(600.0, 6 * 3600.0));
+      auto alloc = plan_start(cluster_, j, placement_);
+      if (!alloc) break;
+      cluster_.commit(*alloc);
+      jobs_.push_back(j);
+      RunningJob r;
+      r.id = j.id;
+      r.expected_end = now_ + j.walltime;
+      r.take = SchedulingSimulation::take_from_allocation(*alloc, config_);
+      running_.push_back(r);
+    }
+    // Queue `depth` more jobs, mostly too big to start now (deep queue).
+    // Mirror the engine's admission rule: only jobs that fit an empty
+    // machine may be queued (schedulers rely on that contract).
+    while (queue_.size() < depth) {
+      Job j;
+      j.id = next_id;
+      j.nodes = static_cast<std::int32_t>(rng.uniform_int(64, 512));
+      j.mem_per_node = gib(rng.uniform(8.0, 300.0));
+      j.runtime = j.walltime = seconds(rng.uniform(600.0, 6 * 3600.0));
+      if (!feasible_on_empty(config_, j, placement_)) continue;
+      ++next_id;
+      jobs_.push_back(j);
+      queue_.push_back(j.id);
+    }
+  }
+
+  [[nodiscard]] SimTime now() const override { return now_; }
+  [[nodiscard]] const Cluster& cluster() const override { return cluster_; }
+  [[nodiscard]] const Job& job(JobId id) const override {
+    return jobs_[id];
+  }
+  [[nodiscard]] std::vector<JobId> queued_jobs() const override {
+    return queue_;
+  }
+  [[nodiscard]] std::vector<RunningJob> running_jobs() const override {
+    return running_;
+  }
+  [[nodiscard]] PlacementPolicy placement() const override {
+    return placement_;
+  }
+  [[nodiscard]] const SlowdownModel& slowdown() const override {
+    return slowdown_;
+  }
+  void start_job(JobId, const Allocation&) override { ++starts_; }
+
+  [[nodiscard]] std::size_t starts() const { return starts_; }
+
+ private:
+  ClusterConfig config_;
+  Cluster cluster_;
+  SimTime now_{};
+  PlacementPolicy placement_{};
+  SlowdownModel slowdown_{};
+  std::vector<Job> jobs_;
+  std::vector<JobId> queue_;
+  std::vector<RunningJob> running_;
+  std::size_t starts_ = 0;
+};
+
+void BM_SchedulingPass(benchmark::State& state) {
+  const auto kind = static_cast<SchedulerKind>(state.range(0));
+  const auto depth = static_cast<std::size_t>(state.range(1));
+  PassContext ctx(disaggregated_config(128, 2048), depth);
+  const auto scheduler = make_scheduler(kind);
+  for (auto _ : state) {
+    scheduler->schedule(ctx);
+    benchmark::DoNotOptimize(ctx.starts());
+  }
+  state.SetLabel(strformat("%s, queue=%zu", to_string(kind), depth));
+}
+
+void register_benchmarks() {
+  // Short minimum times: each measurement is a full deterministic run (or
+  // pass), so a handful of iterations already gives stable numbers.
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
+    benchmark::RegisterBenchmark("Table IV.1/full_simulation",
+                                 BM_FullSimulation)
+        ->Args({static_cast<std::int64_t>(kind), 2000})
+        ->Unit(benchmark::kMillisecond)
+        ->MinTime(0.2);
+  }
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
+    for (const std::int64_t depth : {16, 64, 256}) {
+      benchmark::RegisterBenchmark("Table IV.2/scheduling_pass",
+                                   BM_SchedulingPass)
+          ->Args({static_cast<std::int64_t>(kind), depth})
+          ->Unit(benchmark::kMicrosecond)
+          ->MinTime(0.1);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

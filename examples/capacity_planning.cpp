@@ -1,0 +1,92 @@
+// Capacity planning: how much node-local DRAM can this center shed if it
+// deploys rack-scale memory pools?
+//
+// Sweeps local-memory size × pool size for a chosen workload model and
+// reports the cheapest configuration whose mean bounded slowdown stays
+// within a tolerance of the full-memory baseline — the procurement question
+// disaggregation studies exist to answer.
+#include <cstdio>
+#include <vector>
+
+#include "cluster/system_config.hpp"
+#include "common/cli.hpp"
+#include "common/str.hpp"
+#include "common/table.hpp"
+#include "core/sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dmsched;
+  Cli cli("capacity_planning", "find the smallest memory config that holds");
+  cli.add_string("model", "mixed", "workload: capability|capacity|mixed");
+  cli.add_int("jobs", 2500, "jobs per simulation");
+  cli.add_double("tolerance", 0.10,
+                 "acceptable bsld regression vs baseline (fraction)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const WorkloadModel model =
+      workload_model_from_string(cli.get_string("model"));
+  const auto jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+
+  auto make = [&](ClusterConfig cluster) {
+    ExperimentConfig config;
+    config.cluster = std::move(cluster);
+    config.scheduler = SchedulerKind::kMemAwareEasy;
+    config.model = model;
+    config.jobs = jobs;
+    config.seed = 1234;
+    config.target_load = 0.9;
+    config.label = config.cluster.name;
+    return config;
+  };
+
+  std::vector<ExperimentConfig> sweep;
+  sweep.push_back(make(reference_config()));
+  const std::vector<std::int64_t> locals = {192, 160, 128, 96, 64};
+  const std::vector<std::int64_t> pools = {1024, 2048, 4096};
+  for (const auto local : locals) {
+    for (const auto pool : pools) {
+      sweep.push_back(make(disaggregated_config(local, pool)));
+    }
+  }
+
+  // The same workload for every config: differences are config-only.
+  const Trace trace = make_workload(sweep.front());
+  const auto results = run_sweep_on_trace(sweep, trace);
+  const double baseline_bsld = results.front().mean_bsld;
+  const std::size_t baseline_rejected = results.front().rejected;
+  const double budget =
+      baseline_bsld * (1.0 + cli.get_double("tolerance"));
+
+  ConsoleTable table("capacity planning, model=" +
+                     std::string(to_string(model)));
+  table.columns({"config", "total mem", "bsld", "vs base", "util %",
+                 "rejected", "verdict"});
+  std::size_t best = 0;
+  Bytes best_mem = sweep.front().cluster.total_memory();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& m = results[i];
+    const Bytes total = sweep[i].cluster.total_memory();
+    // Acceptable = holds the slowdown budget AND serves at least as much of
+    // the workload as the full-memory reference (which itself rejects the
+    // above-local-memory population).
+    const bool ok = m.mean_bsld <= budget && m.rejected <= baseline_rejected;
+    if (ok && total < best_mem) {
+      best = i;
+      best_mem = total;
+    }
+    table.row({sweep[i].cluster.name, format_bytes(total),
+               strformat("%.2f", m.mean_bsld),
+               strformat("%+.1f%%",
+                         100.0 * (m.mean_bsld / baseline_bsld - 1.0)),
+               strformat("%.1f", 100.0 * m.node_utilization),
+               strformat("%zu", m.rejected), ok ? "OK" : "over budget"});
+  }
+  table.print();
+  std::printf("\ncheapest acceptable config: %s (%s total memory, "
+              "%.1f%% less than reference)\n",
+              sweep[best].cluster.name.c_str(),
+              format_bytes(best_mem).c_str(),
+              100.0 * (1.0 - ratio(best_mem,
+                                   sweep.front().cluster.total_memory())));
+  return 0;
+}

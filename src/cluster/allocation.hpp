@@ -1,0 +1,67 @@
+// What a running job holds: nodes plus memory drawn from pools.
+#pragma once
+
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "common/units.hpp"
+#include "workload/job.hpp"
+
+namespace dmsched {
+
+/// Bytes drawn from one pool (a rack pool, or the global pool when
+/// `rack == kGlobalPoolRack`).
+struct PoolDraw {
+  RackId rack = kGlobalPoolRack;
+  Bytes bytes{};
+};
+
+/// A concrete resource grant for one job.
+///
+/// Invariants (checked by Cluster::commit):
+///  - `nodes` are distinct and free;
+///  - `local_per_node <= cluster local capacity`;
+///  - Σ draws == far_per_node · |nodes|;
+///  - each rack draw's rack actually hosts at least one allocated node.
+struct Allocation {
+  JobId job = kInvalidJobId;
+  std::vector<NodeId> nodes;
+  /// Bytes of the job's per-node footprint served by node-local memory.
+  Bytes local_per_node{};
+  /// Bytes per node served from disaggregated pools (the deficit).
+  Bytes far_per_node{};
+  /// Where the far bytes come from.
+  std::vector<PoolDraw> draws;
+
+  /// Total far bytes across the job.
+  [[nodiscard]] Bytes far_total() const {
+    return far_per_node * static_cast<std::int64_t>(nodes.size());
+  }
+  /// Total footprint across the job.
+  [[nodiscard]] Bytes mem_total() const {
+    return (local_per_node + far_per_node) *
+           static_cast<std::int64_t>(nodes.size());
+  }
+  /// Fraction of the footprint served from pools, in [0,1].
+  [[nodiscard]] double far_fraction() const {
+    return ratio(far_total(), mem_total());
+  }
+  /// Far bytes drawn from rack pools only.
+  [[nodiscard]] Bytes rack_draw_total() const {
+    Bytes total{};
+    for (const auto& d : draws) {
+      if (d.rack != kGlobalPoolRack) total += d.bytes;
+    }
+    return total;
+  }
+  /// Far bytes drawn from the global pool.
+  [[nodiscard]] Bytes global_draw_total() const {
+    Bytes total{};
+    for (const auto& d : draws) {
+      if (d.rack == kGlobalPoolRack) total += d.bytes;
+    }
+    return total;
+  }
+};
+
+}  // namespace dmsched

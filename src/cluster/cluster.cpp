@@ -1,0 +1,210 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace dmsched {
+
+void ClusterConfig::validate() const {
+  DMSCHED_ASSERT(total_nodes > 0, "ClusterConfig: no nodes");
+  DMSCHED_ASSERT(nodes_per_rack > 0, "ClusterConfig: empty racks");
+  DMSCHED_ASSERT(local_mem_per_node > Bytes{0},
+                 "ClusterConfig: nodes need local memory");
+  DMSCHED_ASSERT(pool_per_rack >= Bytes{0} && global_pool >= Bytes{0},
+                 "ClusterConfig: negative pool");
+}
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  config_.validate();
+  node_occupant_.assign(static_cast<std::size_t>(config_.total_nodes),
+                        kInvalidJobId);
+  rack_free_.resize(static_cast<std::size_t>(config_.racks()));
+  for (RackId r = 0; r < config_.racks(); ++r) {
+    rack_free_[static_cast<std::size_t>(r)] = config_.rack_size(r);
+  }
+  pool_used_.assign(static_cast<std::size_t>(config_.racks()), Bytes{0});
+  free_total_ = config_.total_nodes;
+}
+
+std::int32_t Cluster::free_nodes_in_rack(RackId r) const {
+  DMSCHED_ASSERT(r >= 0 && r < config_.racks(), "rack id out of range");
+  return rack_free_[static_cast<std::size_t>(r)];
+}
+
+Bytes Cluster::pool_free(RackId r) const {
+  DMSCHED_ASSERT(r >= 0 && r < config_.racks(), "rack id out of range");
+  return config_.pool_per_rack - pool_used_[static_cast<std::size_t>(r)];
+}
+
+Bytes Cluster::global_pool_free() const {
+  return config_.global_pool - global_used_;
+}
+
+JobId Cluster::occupant(NodeId node) const {
+  DMSCHED_ASSERT(node >= 0 && node < config_.total_nodes,
+                 "node id out of range");
+  return node_occupant_[static_cast<std::size_t>(node)];
+}
+
+Bytes Cluster::rack_pools_used() const {
+  Bytes total{};
+  for (const Bytes& b : pool_used_) total += b;
+  return total;
+}
+
+std::vector<NodeId> Cluster::free_nodes_in_rack_lowest(
+    RackId r, std::int32_t count) const {
+  DMSCHED_ASSERT(r >= 0 && r < config_.racks(), "rack id out of range");
+  std::vector<NodeId> out;
+  if (count <= 0) return out;
+  const NodeId first = r * config_.nodes_per_rack;
+  const NodeId last = first + config_.rack_size(r);
+  for (NodeId n = first; n < last && std::cmp_less(out.size(), count); ++n) {
+    if (node_occupant_[static_cast<std::size_t>(n)] == kInvalidJobId) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+void Cluster::commit(const Allocation& alloc) {
+  DMSCHED_ASSERT(alloc.job != kInvalidJobId, "commit: invalid job id");
+  DMSCHED_ASSERT(!allocations_.contains(alloc.job),
+                 "commit: job already holds an allocation");
+  DMSCHED_ASSERT(!alloc.nodes.empty(), "commit: allocation without nodes");
+  DMSCHED_ASSERT(alloc.local_per_node <= config_.local_mem_per_node,
+                 "commit: local share exceeds node capacity");
+  DMSCHED_ASSERT(alloc.local_per_node >= Bytes{0} &&
+                     alloc.far_per_node >= Bytes{0},
+                 "commit: negative memory share");
+
+  // Draws must sum exactly to the far requirement.
+  Bytes draw_sum{};
+  for (const auto& d : alloc.draws) {
+    DMSCHED_ASSERT(d.bytes > Bytes{0}, "commit: empty pool draw");
+    draw_sum += d.bytes;
+  }
+  DMSCHED_ASSERT(draw_sum == alloc.far_total(),
+                 "commit: pool draws do not cover the far requirement");
+
+  // Nodes must be distinct and free.
+  for (NodeId n : alloc.nodes) {
+    DMSCHED_ASSERT(n >= 0 && n < config_.total_nodes,
+                   "commit: node id out of range");
+    DMSCHED_ASSERT(node_occupant_[static_cast<std::size_t>(n)] ==
+                       kInvalidJobId,
+                   "commit: node already occupied");
+  }
+
+  // Rack draws must target racks hosting at least one of the job's nodes.
+  for (const auto& d : alloc.draws) {
+    if (d.rack == kGlobalPoolRack) {
+      DMSCHED_ASSERT(d.bytes <= global_pool_free(),
+                     "commit: global pool overcommitted");
+      continue;
+    }
+    DMSCHED_ASSERT(d.bytes <= pool_free(d.rack),
+                   "commit: rack pool overcommitted");
+    const bool hosts_node =
+        std::any_of(alloc.nodes.begin(), alloc.nodes.end(), [&](NodeId n) {
+          return config_.rack_of(n) == d.rack;
+        });
+    DMSCHED_ASSERT(hosts_node, "commit: draw from a rack hosting no node");
+  }
+
+  // All checks passed: apply.
+  for (NodeId n : alloc.nodes) {
+    node_occupant_[static_cast<std::size_t>(n)] = alloc.job;
+    --rack_free_[static_cast<std::size_t>(config_.rack_of(n))];
+    --free_total_;
+  }
+  for (const auto& d : alloc.draws) {
+    if (d.rack == kGlobalPoolRack) {
+      global_used_ += d.bytes;
+    } else {
+      pool_used_[static_cast<std::size_t>(d.rack)] += d.bytes;
+    }
+  }
+  allocations_.emplace(alloc.job, alloc);
+}
+
+Allocation Cluster::release(JobId job) {
+  auto it = allocations_.find(job);
+  DMSCHED_ASSERT(it != allocations_.end(), "release: job not running");
+  Allocation alloc = std::move(it->second);
+  allocations_.erase(it);
+  for (NodeId n : alloc.nodes) {
+    DMSCHED_ASSERT(node_occupant_[static_cast<std::size_t>(n)] == job,
+                   "release: occupancy ledger corrupt");
+    node_occupant_[static_cast<std::size_t>(n)] = kInvalidJobId;
+    ++rack_free_[static_cast<std::size_t>(config_.rack_of(n))];
+    ++free_total_;
+  }
+  for (const auto& d : alloc.draws) {
+    if (d.rack == kGlobalPoolRack) {
+      global_used_ -= d.bytes;
+    } else {
+      pool_used_[static_cast<std::size_t>(d.rack)] -= d.bytes;
+    }
+  }
+  return alloc;
+}
+
+const Allocation* Cluster::find_allocation(JobId job) const {
+  auto it = allocations_.find(job);
+  return it == allocations_.end() ? nullptr : &it->second;
+}
+
+std::vector<JobId> Cluster::running_jobs() const {
+  std::vector<JobId> out;
+  out.reserve(allocations_.size());
+  for (const auto& [id, _] : allocations_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Cluster::audit() const {
+  std::vector<std::int32_t> rack_free(rack_free_.size(), 0);
+  std::int32_t free_total = 0;
+  for (NodeId n = 0; n < config_.total_nodes; ++n) {
+    const JobId occ = node_occupant_[static_cast<std::size_t>(n)];
+    if (occ == kInvalidJobId) {
+      ++rack_free[static_cast<std::size_t>(config_.rack_of(n))];
+      ++free_total;
+    } else {
+      DMSCHED_ASSERT(allocations_.contains(occ),
+                     "audit: node held by unknown job");
+    }
+  }
+  DMSCHED_ASSERT(free_total == free_total_, "audit: free-node count drift");
+  DMSCHED_ASSERT(rack_free == rack_free_, "audit: rack free-count drift");
+
+  std::vector<Bytes> pool_used(pool_used_.size(), Bytes{0});
+  Bytes global_used{};
+  for (const auto& [job, alloc] : allocations_) {
+    DMSCHED_ASSERT(job == alloc.job, "audit: allocation key mismatch");
+    for (NodeId n : alloc.nodes) {
+      DMSCHED_ASSERT(node_occupant_[static_cast<std::size_t>(n)] == job,
+                     "audit: allocation lists a node it does not hold");
+    }
+    for (const auto& d : alloc.draws) {
+      if (d.rack == kGlobalPoolRack) {
+        global_used += d.bytes;
+      } else {
+        pool_used[static_cast<std::size_t>(d.rack)] += d.bytes;
+      }
+    }
+  }
+  DMSCHED_ASSERT(global_used == global_used_, "audit: global pool drift");
+  for (std::size_t r = 0; r < pool_used.size(); ++r) {
+    DMSCHED_ASSERT(pool_used[r] == pool_used_[r], "audit: rack pool drift");
+    DMSCHED_ASSERT(pool_used[r] <= config_.pool_per_rack,
+                   "audit: rack pool overcommitted");
+  }
+  DMSCHED_ASSERT(global_used_ <= config_.global_pool,
+                 "audit: global pool overcommitted");
+}
+
+}  // namespace dmsched

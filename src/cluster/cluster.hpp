@@ -1,0 +1,78 @@
+// The live machine: node occupancy and pool ledgers.
+//
+// Cluster is purely mechanical — it validates and applies allocations and
+// answers capacity queries. *Choosing* an allocation is the placement
+// layer's job (src/memory/placement.hpp); *when* to start a job is the
+// scheduler's job. This split lets every scheduler share one audited ledger.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/allocation.hpp"
+#include "cluster/config.hpp"
+
+namespace dmsched {
+
+/// Mutable machine state with conservation invariants enforced on every
+/// transition (see DESIGN.md §4).
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+
+  // --- capacity queries ---------------------------------------------------
+  [[nodiscard]] std::int32_t free_nodes_total() const { return free_total_; }
+  [[nodiscard]] std::int32_t free_nodes_in_rack(RackId r) const;
+  /// Remaining capacity of rack `r`'s pool.
+  [[nodiscard]] Bytes pool_free(RackId r) const;
+  /// Remaining capacity of the global pool.
+  [[nodiscard]] Bytes global_pool_free() const;
+  /// Job occupying `node`, or kInvalidJobId when free.
+  [[nodiscard]] JobId occupant(NodeId node) const;
+  /// Busy-node count (total - free).
+  [[nodiscard]] std::int32_t busy_nodes() const {
+    return config_.total_nodes - free_total_;
+  }
+  /// Total bytes currently drawn across all rack pools.
+  [[nodiscard]] Bytes rack_pools_used() const;
+  /// Bytes currently drawn from the global pool.
+  [[nodiscard]] Bytes global_pool_used() const { return global_used_; }
+
+  /// The `count` lowest-numbered free nodes in rack `r` (deterministic
+  /// placement); fewer are returned if the rack has fewer free.
+  [[nodiscard]] std::vector<NodeId> free_nodes_in_rack_lowest(
+      RackId r, std::int32_t count) const;
+
+  // --- transitions ----------------------------------------------------------
+  /// Apply an allocation. Aborts on any invariant violation (a scheduler
+  /// bug, not a runtime condition — plans must be validated before commit).
+  void commit(const Allocation& alloc);
+
+  /// Release a job's allocation and return it. Aborts if not running.
+  Allocation release(JobId job);
+
+  /// Allocation of a running job, if any.
+  [[nodiscard]] const Allocation* find_allocation(JobId job) const;
+
+  /// Jobs currently holding resources.
+  [[nodiscard]] std::vector<JobId> running_jobs() const;
+
+  /// Recompute all ledgers from the occupancy map and assert they match the
+  /// incremental ones. O(nodes + allocations); used by tests and available
+  /// behind a flag in long experiments.
+  void audit() const;
+
+ private:
+  ClusterConfig config_;
+  std::vector<JobId> node_occupant_;       // per node
+  std::vector<std::int32_t> rack_free_;    // per rack
+  std::vector<Bytes> pool_used_;           // per rack
+  Bytes global_used_{};
+  std::int32_t free_total_ = 0;
+  std::unordered_map<JobId, Allocation> allocations_;
+};
+
+}  // namespace dmsched

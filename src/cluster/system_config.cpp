@@ -1,0 +1,61 @@
+#include "cluster/system_config.hpp"
+
+#include "common/str.hpp"
+
+namespace dmsched {
+
+ClusterConfig reference_config() {
+  ClusterConfig c;
+  c.name = "ref-L256";
+  c.total_nodes = 1024;
+  c.nodes_per_rack = 64;
+  c.local_mem_per_node = gib(std::int64_t{256});
+  c.pool_per_rack = Bytes{0};
+  c.global_pool = Bytes{0};
+  return c;
+}
+
+ClusterConfig disaggregated_config(std::int64_t local_gib,
+                                   std::int64_t rack_pool_gib,
+                                   std::int64_t global_pool_gib) {
+  ClusterConfig c = reference_config();
+  c.local_mem_per_node = gib(local_gib);
+  c.pool_per_rack = gib(rack_pool_gib);
+  c.global_pool = gib(global_pool_gib);
+  c.name = strformat("dis-L%lld-P%lld", static_cast<long long>(local_gib),
+                     static_cast<long long>(rack_pool_gib));
+  if (global_pool_gib > 0) {
+    c.name += strformat("-G%lld", static_cast<long long>(global_pool_gib));
+  }
+  return c;
+}
+
+ClusterConfig custom_config(std::int32_t total_nodes,
+                            std::int32_t nodes_per_rack, Bytes local_per_node,
+                            Bytes pool_per_rack, Bytes global_pool) {
+  ClusterConfig c;
+  c.total_nodes = total_nodes;
+  c.nodes_per_rack = nodes_per_rack;
+  c.local_mem_per_node = local_per_node;
+  c.pool_per_rack = pool_per_rack;
+  c.global_pool = global_pool;
+  c.name = strformat("custom-N%d-R%d", total_nodes, nodes_per_rack);
+  return c;
+}
+
+std::vector<ClusterConfig> evaluation_configs() {
+  // Reference, then local-memory reductions with a 2 TiB rack pool, then
+  // pool-size variants at the headline 128 GiB local point.
+  return {
+      reference_config(),
+      disaggregated_config(192, 2048),
+      disaggregated_config(128, 2048),
+      disaggregated_config(96, 2048),
+      disaggregated_config(64, 2048),
+      disaggregated_config(128, 1024),
+      disaggregated_config(128, 4096),
+      disaggregated_config(128, 0, 32768),  // one global pool, same bytes
+  };
+}
+
+}  // namespace dmsched

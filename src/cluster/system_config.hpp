@@ -1,0 +1,32 @@
+// Named machine configurations used across the evaluation (Table II).
+#pragma once
+
+#include <vector>
+
+#include "cluster/config.hpp"
+
+namespace dmsched {
+
+/// The reference machine: 1024 nodes, 16 racks × 64, 256 GiB local memory
+/// per node, no disaggregation. All comparisons are against this.
+[[nodiscard]] ClusterConfig reference_config();
+
+/// A disaggregated variant: local memory shrunk to `local_gib` per node and
+/// a rack pool of `rack_pool_gib` added per rack (plus optional global
+/// pool). Name encodes the shape, e.g. "dis-L128-P2048".
+[[nodiscard]] ClusterConfig disaggregated_config(std::int64_t local_gib,
+                                                 std::int64_t rack_pool_gib,
+                                                 std::int64_t global_pool_gib = 0);
+
+/// Fully custom machine.
+[[nodiscard]] ClusterConfig custom_config(std::int32_t total_nodes,
+                                          std::int32_t nodes_per_rack,
+                                          Bytes local_per_node,
+                                          Bytes pool_per_rack,
+                                          Bytes global_pool);
+
+/// The configuration matrix of Table II: reference plus the disaggregated
+/// variants every experiment draws from.
+[[nodiscard]] std::vector<ClusterConfig> evaluation_configs();
+
+}  // namespace dmsched

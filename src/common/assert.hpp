@@ -1,0 +1,33 @@
+// Always-on invariant checking.
+//
+// Simulator correctness depends on conservation invariants (no node double
+// allocation, pool bytes never negative, ...). These are cheap relative to a
+// scheduling pass, so they stay enabled in release builds: a violated
+// invariant in a published experiment is far more expensive than the branch.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dmsched::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "DMSCHED_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace dmsched::detail
+
+/// Abort with a diagnostic if `expr` is false. Enabled in all build types.
+#define DMSCHED_ASSERT(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) [[unlikely]] {                                         \
+      ::dmsched::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                   \
+  } while (false)
+
+/// Marks unreachable control flow; aborts if reached.
+#define DMSCHED_UNREACHABLE(msg) \
+  ::dmsched::detail::assert_fail("unreachable", __FILE__, __LINE__, (msg))

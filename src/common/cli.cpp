@@ -1,0 +1,150 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+#include "common/str.hpp"
+
+namespace dmsched {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Cli::add_string(const std::string& key, std::string default_value,
+                     std::string help) {
+  options_[key] = {Kind::kString, default_value, std::move(default_value),
+                   std::move(help)};
+}
+
+void Cli::add_int(const std::string& key, std::int64_t default_value,
+                  std::string help) {
+  auto text = strformat("%lld", static_cast<long long>(default_value));
+  options_[key] = {Kind::kInt, text, text, std::move(help)};
+}
+
+void Cli::add_double(const std::string& key, double default_value,
+                     std::string help) {
+  auto text = strformat("%g", default_value);
+  options_[key] = {Kind::kDouble, text, text, std::move(help)};
+}
+
+void Cli::add_flag(const std::string& key, std::string help) {
+  options_[key] = {Kind::kFlag, "false", "false", std::move(help)};
+}
+
+bool Cli::assign(const std::string& key, const std::string& value) {
+  auto it = options_.find(key);
+  if (it == options_.end()) {
+    std::fprintf(stderr, "%s: unknown option --%s\n", program_.c_str(),
+                 key.c_str());
+    return false;
+  }
+  switch (it->second.kind) {
+    case Kind::kInt: {
+      std::int64_t v{};
+      if (!parse_i64(value, v)) {
+        std::fprintf(stderr, "%s: --%s expects an integer, got '%s'\n",
+                     program_.c_str(), key.c_str(), value.c_str());
+        return false;
+      }
+      break;
+    }
+    case Kind::kDouble: {
+      double v{};
+      if (!parse_double(value, v)) {
+        std::fprintf(stderr, "%s: --%s expects a number, got '%s'\n",
+                     program_.c_str(), key.c_str(), value.c_str());
+        return false;
+      }
+      break;
+    }
+    case Kind::kFlag:
+      if (value != "true" && value != "false") {
+        std::fprintf(stderr, "%s: --%s expects true/false, got '%s'\n",
+                     program_.c_str(), key.c_str(), value.c_str());
+        return false;
+      }
+      break;
+    case Kind::kString:
+      break;
+  }
+  it->second.value = value;
+  return true;
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (!arg.starts_with("--")) {
+      std::fprintf(stderr, "%s: unexpected argument '%s'\n", program_.c_str(),
+                   std::string(arg).c_str());
+      return false;
+    }
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      if (!assign(std::string(arg.substr(0, eq)),
+                  std::string(arg.substr(eq + 1)))) {
+        return false;
+      }
+      continue;
+    }
+    const std::string key{arg};
+    auto it = options_.find(key);
+    if (it != options_.end() && it->second.kind == Kind::kFlag) {
+      it->second.value = "true";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: --%s requires a value\n", program_.c_str(),
+                   key.c_str());
+      return false;
+    }
+    if (!assign(key, argv[++i])) return false;
+  }
+  return true;
+}
+
+const Cli::Option* Cli::find(const std::string& key, Kind kind) const {
+  auto it = options_.find(key);
+  DMSCHED_ASSERT(it != options_.end(), "Cli: option was never registered");
+  DMSCHED_ASSERT(it->second.kind == kind, "Cli: option kind mismatch");
+  return &it->second;
+}
+
+std::string Cli::get_string(const std::string& key) const {
+  return find(key, Kind::kString)->value;
+}
+
+std::int64_t Cli::get_int(const std::string& key) const {
+  std::int64_t v{};
+  DMSCHED_ASSERT(parse_i64(find(key, Kind::kInt)->value, v),
+                 "Cli: stored int unparsable");
+  return v;
+}
+
+double Cli::get_double(const std::string& key) const {
+  double v{};
+  DMSCHED_ASSERT(parse_double(find(key, Kind::kDouble)->value, v),
+                 "Cli: stored double unparsable");
+  return v;
+}
+
+bool Cli::get_flag(const std::string& key) const {
+  return find(key, Kind::kFlag)->value == "true";
+}
+
+std::string Cli::usage() const {
+  std::string out = program_ + " — " + description_ + "\n\nOptions:\n";
+  for (const auto& [key, opt] : options_) {
+    out += strformat("  --%-24s %s (default: %s)\n", key.c_str(),
+                     opt.help.c_str(), opt.default_value.c_str());
+  }
+  return out;
+}
+
+}  // namespace dmsched

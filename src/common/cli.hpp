@@ -1,0 +1,60 @@
+// Tiny command-line parser for examples and bench binaries.
+//
+// Supports `--key=value`, `--key value`, and boolean `--flag`. Unknown keys
+// are an error (catches typos in sweep scripts). No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dmsched {
+
+/// Declarative CLI: register options with defaults and help text, then
+/// `parse(argc, argv)`. `--help` prints usage and returns false.
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  /// Register a string option.
+  void add_string(const std::string& key, std::string default_value,
+                  std::string help);
+  /// Register an integer option.
+  void add_int(const std::string& key, std::int64_t default_value,
+               std::string help);
+  /// Register a floating-point option.
+  void add_double(const std::string& key, double default_value,
+                  std::string help);
+  /// Register a boolean flag (default false; `--key` or `--key=true/false`).
+  void add_flag(const std::string& key, std::string help);
+
+  /// Parse; returns false if `--help` was requested or input was invalid
+  /// (a diagnostic is printed to stderr in the invalid case).
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& key) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key) const;
+  [[nodiscard]] double get_double(const std::string& key) const;
+  [[nodiscard]] bool get_flag(const std::string& key) const;
+
+  /// Usage text.
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kFlag };
+  struct Option {
+    Kind kind;
+    std::string value;  // canonical textual value
+    std::string default_value;
+    std::string help;
+  };
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;  // ordered for stable --help
+  const Option* find(const std::string& key, Kind kind) const;
+  bool assign(const std::string& key, const std::string& value);
+};
+
+}  // namespace dmsched

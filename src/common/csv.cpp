@@ -1,0 +1,62 @@
+#include "common/csv.hpp"
+
+#include "common/assert.hpp"
+#include "common/str.hpp"
+
+namespace dmsched {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  DMSCHED_ASSERT(!header_written_, "CsvWriter: header written twice");
+  header_written_ = true;
+  write_row(columns);
+}
+
+CsvWriter& CsvWriter::add(std::string_view field) {
+  row_.emplace_back(field);
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(double value) {
+  row_.push_back(strformat("%.6g", value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(std::int64_t value) {
+  row_.push_back(strformat("%lld", static_cast<long long>(value)));
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(std::size_t value) {
+  row_.push_back(strformat("%llu", static_cast<unsigned long long>(value)));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  write_row(row_);
+  row_.clear();
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string{field};
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace dmsched

@@ -1,0 +1,43 @@
+// Minimal RFC-4180-style CSV writer for experiment outputs.
+//
+// Every bench binary can mirror its printed table into a CSV file so plots
+// can be regenerated without re-running the simulation.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dmsched {
+
+/// Streams rows to a CSV file. Fields containing delimiters/quotes/newlines
+/// are quoted and escaped. The file is flushed and closed on destruction.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; `ok()` reports success.
+  explicit CsvWriter(const std::string& path);
+
+  [[nodiscard]] bool ok() const { return out_.good(); }
+
+  /// Write the header row (callable once, before any data row).
+  void header(const std::vector<std::string>& columns);
+
+  /// Begin accumulating a row; fields are appended with add().
+  CsvWriter& add(std::string_view field);
+  CsvWriter& add(double value);
+  CsvWriter& add(std::int64_t value);
+  CsvWriter& add(std::size_t value);
+  /// Terminate the current row.
+  void end_row();
+
+ private:
+  std::ofstream out_;
+  std::vector<std::string> row_;
+  bool header_written_ = false;
+
+  static std::string escape(std::string_view field);
+  void write_row(const std::vector<std::string>& fields);
+};
+
+}  // namespace dmsched

@@ -1,0 +1,61 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace dmsched {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  DMSCHED_ASSERT(hi > lo, "Histogram: hi must exceed lo");
+  DMSCHED_ASSERT(bins > 0, "Histogram: need at least one bin");
+}
+
+void Histogram::add(double x) {
+  auto raw = static_cast<std::int64_t>(std::floor((x - lo_) / width_));
+  raw = std::clamp<std::int64_t>(raw, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(raw)];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  DMSCHED_ASSERT(bin < counts_.size(), "Histogram: bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples,
+                                    std::size_t points) {
+  DMSCHED_ASSERT(points >= 2, "empirical_cdf: need at least 2 points");
+  if (samples.empty()) return {};
+  std::sort(samples.begin(), samples.end());
+  std::vector<CdfPoint> out;
+  out.reserve(points);
+  const std::size_t n = samples.size();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto idx = std::min(
+        n - 1, static_cast<std::size_t>(q * static_cast<double>(n - 1) + 0.5));
+    out.push_back({samples[idx],
+                   static_cast<double>(idx + 1) / static_cast<double>(n)});
+  }
+  return out;
+}
+
+}  // namespace dmsched

@@ -1,0 +1,47 @@
+// Histogram and empirical-CDF helpers for workload characterization and the
+// figure-reproduction benches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dmsched {
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range values clamp to
+/// the edge bins so mass is never silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Inclusive lower edge of bin `i`.
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  /// Exclusive upper edge of bin `i`.
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  /// Fraction of observations in bin `i` (0 when empty).
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// One (x, F(x)) point of an empirical CDF.
+struct CdfPoint {
+  double x;
+  double cumulative_fraction;
+};
+
+/// Empirical CDF down-sampled to `points` evenly spaced quantiles —
+/// exactly what a paper's CDF figure plots.
+[[nodiscard]] std::vector<CdfPoint> empirical_cdf(std::vector<double> samples,
+                                                  std::size_t points);
+
+}  // namespace dmsched

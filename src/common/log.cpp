@@ -1,0 +1,42 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+namespace dmsched {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (level < log_level()) return;
+  char message[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(message, sizeof message, fmt, args);
+  va_end(args);
+  char line[1100];
+  std::snprintf(line, sizeof line, "[%s] %s\n", level_name(level), message);
+  std::fputs(line, stderr);  // single write: safe under concurrency
+}
+
+}  // namespace dmsched

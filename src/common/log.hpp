@@ -1,0 +1,31 @@
+// Leveled logging to stderr.
+//
+// The simulator itself never logs on hot paths; logging is for harness
+// progress and diagnostics. Level is a process-wide atomic so the parallel
+// sweep harness can log safely (writes go through a single fputs).
+#pragma once
+
+#include <string>
+
+namespace dmsched {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+/// Current threshold.
+[[nodiscard]] LogLevel log_level();
+
+/// Emit a message at `level` (printf-style).
+[[gnu::format(printf, 2, 3)]] void logf(LogLevel level, const char* fmt, ...);
+
+}  // namespace dmsched
+
+#define DMSCHED_LOG_DEBUG(...) \
+  ::dmsched::logf(::dmsched::LogLevel::kDebug, __VA_ARGS__)
+#define DMSCHED_LOG_INFO(...) \
+  ::dmsched::logf(::dmsched::LogLevel::kInfo, __VA_ARGS__)
+#define DMSCHED_LOG_WARN(...) \
+  ::dmsched::logf(::dmsched::LogLevel::kWarn, __VA_ARGS__)
+#define DMSCHED_LOG_ERROR(...) \
+  ::dmsched::logf(::dmsched::LogLevel::kError, __VA_ARGS__)

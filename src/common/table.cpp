@@ -1,0 +1,66 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace dmsched {
+
+ConsoleTable::ConsoleTable(std::string title) : title_(std::move(title)) {}
+
+void ConsoleTable::columns(std::vector<std::string> headers) {
+  DMSCHED_ASSERT(rows_.empty(), "ConsoleTable: set columns before rows");
+  headers_ = std::move(headers);
+}
+
+void ConsoleTable::row(std::vector<std::string> cells) {
+  DMSCHED_ASSERT(cells.size() == headers_.size(),
+                 "ConsoleTable: row width != header width");
+  rows_.push_back({std::move(cells), false});
+}
+
+void ConsoleTable::separator() { rows_.push_back({{}, true}); }
+
+std::string ConsoleTable::str() const {
+  std::vector<std::size_t> width(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    if (r.is_separator) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      width[c] = std::max(width[c], r.cells[c].size());
+    }
+  }
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (std::size_t w : width) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto format_row = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(width[c] - cells[c].size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out;
+  out += "=== " + title_ + " ===\n";
+  out += hline();
+  out += format_row(headers_);
+  out += hline();
+  for (const auto& r : rows_) {
+    out += r.is_separator ? hline() : format_row(r.cells);
+  }
+  out += hline();
+  return out;
+}
+
+void ConsoleTable::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace dmsched

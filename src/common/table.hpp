@@ -1,0 +1,41 @@
+// ASCII table rendering for the bench harnesses.
+//
+// Each bench binary prints the rows/series its paper table or figure
+// reports; this class keeps those outputs aligned and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dmsched {
+
+/// Column-aligned console table with a title, header, and optional
+/// separator rows. Numeric cells should be pre-formatted by the caller so
+/// the table stays agnostic of units.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::string title);
+
+  /// Set the column headers; must be called before any row.
+  void columns(std::vector<std::string> headers);
+  /// Append a data row; must have exactly as many cells as headers.
+  void row(std::vector<std::string> cells);
+  /// Append a horizontal separator (between sweep groups).
+  void separator();
+
+  /// Render to a string.
+  [[nodiscard]] std::string str() const;
+  /// Render to stdout.
+  void print() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace dmsched

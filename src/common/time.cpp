@@ -1,0 +1,29 @@
+#include "common/time.hpp"
+
+#include <cstdio>
+
+namespace dmsched {
+
+std::string format_duration(SimTime t) {
+  std::int64_t total_sec = t.usec() / 1'000'000;
+  const bool negative = total_sec < 0;
+  if (negative) total_sec = -total_sec;
+  const std::int64_t d = total_sec / 86'400;
+  const std::int64_t h = (total_sec / 3'600) % 24;
+  const std::int64_t m = (total_sec / 60) % 60;
+  const std::int64_t s = total_sec % 60;
+  char buf[48];
+  if (d > 0) {
+    std::snprintf(buf, sizeof buf, "%s%lld-%02lld:%02lld:%02lld",
+                  negative ? "-" : "", static_cast<long long>(d),
+                  static_cast<long long>(h), static_cast<long long>(m),
+                  static_cast<long long>(s));
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%02lld:%02lld:%02lld",
+                  negative ? "-" : "", static_cast<long long>(h),
+                  static_cast<long long>(m), static_cast<long long>(s));
+  }
+  return buf;
+}
+
+}  // namespace dmsched

@@ -1,0 +1,27 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace dmsched {
+
+std::string format_bytes(Bytes b) {
+  static constexpr std::array<const char*, 5> kSuffix = {"B", "KiB", "MiB",
+                                                         "GiB", "TiB"};
+  double value = static_cast<double>(b.count());
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < kSuffix.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[48];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof buf, "%lld B",
+                  static_cast<long long>(b.count()));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", value, kSuffix[unit]);
+  }
+  return buf;
+}
+
+}  // namespace dmsched

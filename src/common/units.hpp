@@ -1,0 +1,92 @@
+// Strong byte-quantity type and binary-unit helpers.
+//
+// Memory capacities appear in every scheduler decision; using a strong type
+// prevents the classic bug of mixing per-node and aggregate quantities or
+// bytes and GiB. Arithmetic is saturating-free (plain int64) — capacities in
+// this domain are < 2^63 by many orders of magnitude.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace dmsched {
+
+/// A non-negative quantity of bytes (memory capacity, allocation size).
+///
+/// Supports ordering, additive arithmetic, and scalar scaling. Subtraction
+/// asserts non-negativity: a negative capacity is always a logic error in
+/// this codebase.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::int64_t count) : count_(count) {}
+
+  /// Raw byte count.
+  [[nodiscard]] constexpr std::int64_t count() const { return count_; }
+  /// Value in GiB as a double (for reporting only).
+  [[nodiscard]] constexpr double gib() const {
+    return static_cast<double>(count_) / (1024.0 * 1024.0 * 1024.0);
+  }
+  [[nodiscard]] constexpr bool is_zero() const { return count_ == 0; }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  constexpr Bytes& operator+=(Bytes other) {
+    count_ += other.count_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes other) {
+    count_ -= other.count_;
+    DMSCHED_ASSERT(count_ >= 0, "Bytes arithmetic went negative");
+    return *this;
+  }
+  friend constexpr Bytes operator+(Bytes a, Bytes b) { return a += b; }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) { return a -= b; }
+  /// Scale by a job's node count or similar small integer factor.
+  friend constexpr Bytes operator*(Bytes a, std::int64_t k) {
+    return Bytes{a.count_ * k};
+  }
+  friend constexpr Bytes operator*(std::int64_t k, Bytes a) { return a * k; }
+  /// Integer division by a small positive factor (e.g. per-node shares).
+  friend constexpr Bytes operator/(Bytes a, std::int64_t k) {
+    return Bytes{a.count_ / k};
+  }
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+/// The smaller of two byte quantities.
+[[nodiscard]] constexpr Bytes min(Bytes a, Bytes b) { return a < b ? a : b; }
+/// The larger of two byte quantities.
+[[nodiscard]] constexpr Bytes max(Bytes a, Bytes b) { return a < b ? b : a; }
+
+/// `a / b` as a double; 0 when `b` is zero (ratio of an empty capacity).
+[[nodiscard]] constexpr double ratio(Bytes a, Bytes b) {
+  return b.is_zero() ? 0.0
+                     : static_cast<double>(a.count()) /
+                           static_cast<double>(b.count());
+}
+
+constexpr Bytes kKiB{std::int64_t{1} << 10};
+constexpr Bytes kMiB{std::int64_t{1} << 20};
+constexpr Bytes kGiB{std::int64_t{1} << 30};
+constexpr Bytes kTiB{std::int64_t{1} << 40};
+
+/// `n` GiB as Bytes.
+[[nodiscard]] constexpr Bytes gib(std::int64_t n) { return kGiB * n; }
+/// `x` GiB (fractional) as Bytes, rounded down.
+[[nodiscard]] constexpr Bytes gib(double x) {
+  return Bytes{static_cast<std::int64_t>(x * static_cast<double>(kGiB.count()))};
+}
+/// `n` MiB as Bytes.
+[[nodiscard]] constexpr Bytes mib(std::int64_t n) { return kMiB * n; }
+/// `n` TiB as Bytes.
+[[nodiscard]] constexpr Bytes tib(std::int64_t n) { return kTiB * n; }
+
+/// Human-readable rendering, e.g. "128.0 GiB" or "512 B".
+[[nodiscard]] std::string format_bytes(Bytes b);
+
+}  // namespace dmsched

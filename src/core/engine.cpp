@@ -1,0 +1,256 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace dmsched {
+
+SchedulingSimulation::SchedulingSimulation(ClusterConfig config,
+                                           const Trace& trace,
+                                           std::unique_ptr<Scheduler> scheduler,
+                                           EngineOptions options)
+    : config_(std::move(config)),
+      trace_(trace),
+      scheduler_(std::move(scheduler)),
+      options_(options),
+      cluster_(config_),
+      rt_(trace.size()) {
+  DMSCHED_ASSERT(scheduler_ != nullptr, "simulation needs a scheduler");
+  metrics_.label = std::string(scheduler_->name()) + "/" + config_.name;
+}
+
+SimTime SchedulingSimulation::now() const { return engine_.now(); }
+
+const Cluster& SchedulingSimulation::cluster() const { return cluster_; }
+
+const Job& SchedulingSimulation::job(JobId id) const {
+  return trace_.job(id);
+}
+
+std::vector<JobId> SchedulingSimulation::queued_jobs() const {
+  std::vector<JobId> ids = queue_;
+  order_queue(ids, trace_.jobs(), options_.queue_order, engine_.now());
+  return ids;
+}
+
+std::vector<RunningJob> SchedulingSimulation::running_jobs() const {
+  std::vector<RunningJob> out;
+  out.reserve(running_.size());
+  for (JobId id : running_) {
+    const JobRuntime& r = rt_[id];
+    out.push_back({id, r.expected_end, r.take});
+  }
+  return out;
+}
+
+PlacementPolicy SchedulingSimulation::placement() const {
+  return options_.placement;
+}
+
+const SlowdownModel& SchedulingSimulation::slowdown() const {
+  return options_.slowdown;
+}
+
+TakePlan SchedulingSimulation::take_from_allocation(const Allocation& alloc,
+                                                    const ClusterConfig& cfg) {
+  TakePlan take;
+  take.local_per_node = alloc.local_per_node;
+  take.far_per_node = alloc.far_per_node;
+  // Group nodes by rack, then attach this allocation's pool draws.
+  std::map<RackId, RackTake> per_rack;
+  for (NodeId n : alloc.nodes) {
+    const RackId r = cfg.rack_of(n);
+    auto& t = per_rack[r];
+    t.rack = r;
+    ++t.nodes;
+  }
+  Bytes global_bytes{};
+  for (const auto& d : alloc.draws) {
+    if (d.rack == kGlobalPoolRack) {
+      global_bytes += d.bytes;
+    } else {
+      auto it = per_rack.find(d.rack);
+      DMSCHED_ASSERT(it != per_rack.end(),
+                     "allocation draws from a rack hosting none of its nodes");
+      it->second.rack_pool_bytes += d.bytes;
+    }
+  }
+  // The global draw is accounted on the first rack slice: profiles only use
+  // the global *total*, which is preserved.
+  take.takes.reserve(per_rack.size());
+  for (auto& [r, t] : per_rack) take.takes.push_back(t);
+  if (global_bytes > Bytes{0}) {
+    DMSCHED_ASSERT(!take.takes.empty(), "allocation with draws but no nodes");
+    take.takes.front().global_pool_bytes = global_bytes;
+  }
+  return take;
+}
+
+void SchedulingSimulation::record_usage_change() {
+  const double t = engine_.now().seconds();
+  busy_nodes_tw_.record(t, static_cast<double>(cluster_.busy_nodes()));
+  rack_pool_tw_.record(t, static_cast<double>(cluster_.rack_pools_used().count()));
+  global_pool_tw_.record(t, static_cast<double>(cluster_.global_pool_used().count()));
+}
+
+void SchedulingSimulation::sample_series() {
+  TimeSample s;
+  s.time = engine_.now();
+  s.busy_nodes = cluster_.busy_nodes();
+  s.queued_jobs = static_cast<std::int32_t>(queue_.size());
+  s.running_jobs = static_cast<std::int32_t>(running_.size());
+  s.rack_pool_used = cluster_.rack_pools_used();
+  s.global_pool_used = cluster_.global_pool_used();
+  metrics_.series.push_back(s);
+  if (live_jobs_ > 0) {
+    engine_.schedule_in(options_.sample_interval, sim::EventClass::kTimer,
+                        [this](SimTime) { sample_series(); });
+  }
+}
+
+void SchedulingSimulation::request_schedule_pass() {
+  if (pass_pending_) return;
+  pass_pending_ = true;
+  engine_.schedule_at(engine_.now(), sim::EventClass::kSchedule,
+                      [this](SimTime) {
+                        pass_pending_ = false;
+                        scheduler_->schedule(*this);
+                      });
+}
+
+void SchedulingSimulation::handle_submit(JobId id) {
+  JobRuntime& r = rt_[id];
+  DMSCHED_ASSERT(r.state == JobState::kPending, "double submission");
+  const Job& j = trace_.job(id);
+  if (!feasible_on_empty(config_, j, options_.placement)) {
+    // The job cannot run on this machine shape at all (e.g. footprint above
+    // local memory and no pool big enough). Table III counts these.
+    r.state = JobState::kRejected;
+    r.end = engine_.now();
+    --live_jobs_;
+    return;
+  }
+  r.state = JobState::kQueued;
+  queue_.push_back(id);
+  request_schedule_pass();
+}
+
+void SchedulingSimulation::start_job(JobId id, const Allocation& alloc) {
+  JobRuntime& r = rt_[id];
+  DMSCHED_ASSERT(r.state == JobState::kQueued,
+                 "start_job: job is not waiting");
+  DMSCHED_ASSERT(alloc.job == id, "start_job: allocation/job id mismatch");
+  const Job& j = trace_.job(id);
+  DMSCHED_ASSERT(std::cmp_equal(alloc.nodes.size(), j.nodes),
+                 "start_job: allocation node count != request");
+  DMSCHED_ASSERT(alloc.local_per_node + alloc.far_per_node == j.mem_per_node,
+                 "start_job: allocation does not cover the footprint");
+
+  cluster_.commit(alloc);
+  queue_.erase(std::find(queue_.begin(), queue_.end(), id));
+  running_.push_back(id);
+
+  r.state = JobState::kRunning;
+  r.start = engine_.now();
+  r.dilation = options_.slowdown.dilation_for(alloc, j);
+  r.take = take_from_allocation(alloc, config_);
+  r.far_rack = alloc.rack_draw_total();
+  r.far_global = alloc.global_draw_total();
+
+  SimTime actual = j.runtime.scaled(r.dilation);
+  if (options_.kill_on_walltime && actual > j.walltime) {
+    actual = j.walltime;
+    r.killed = true;
+  }
+  r.end = engine_.now() + actual;
+  r.expected_end = engine_.now() + j.walltime.scaled(r.dilation);
+  engine_.schedule_at(r.end, sim::EventClass::kCompletion,
+                      [this, id](SimTime) { handle_complete(id); });
+  record_usage_change();
+}
+
+void SchedulingSimulation::handle_complete(JobId id) {
+  JobRuntime& r = rt_[id];
+  DMSCHED_ASSERT(r.state == JobState::kRunning, "completion of a non-running job");
+  cluster_.release(id);
+  if (options_.audit_cluster) cluster_.audit();
+  running_.erase(std::find(running_.begin(), running_.end(), id));
+  r.state = JobState::kDone;
+  --live_jobs_;
+  last_end_ = max(last_end_, engine_.now());
+  record_usage_change();
+  request_schedule_pass();
+}
+
+RunMetrics SchedulingSimulation::run() {
+  DMSCHED_ASSERT(!run_called_, "run() is single-shot");
+  run_called_ = true;
+  live_jobs_ = trace_.size();
+
+  for (const Job& j : trace_.jobs()) {
+    engine_.schedule_at(j.submit, sim::EventClass::kSubmission,
+                        [this, id = j.id](SimTime) { handle_submit(id); });
+  }
+  record_usage_change();
+  if (options_.sample_interval > SimTime{0} && !trace_.empty()) {
+    engine_.schedule_at(trace_.jobs().front().submit,
+                        sim::EventClass::kTimer,
+                        [this](SimTime) { sample_series(); });
+  }
+
+  engine_.run();
+  DMSCHED_ASSERT(live_jobs_ == 0, "simulation drained with live jobs");
+  DMSCHED_ASSERT(queue_.empty() && running_.empty(),
+                 "simulation drained with queued/running jobs");
+  cluster_.audit();
+
+  // Assemble metrics.
+  metrics_.makespan = last_end_;
+  const double horizon = last_end_.seconds();
+  if (horizon > 0.0) {
+    metrics_.node_utilization = busy_nodes_tw_.finish(horizon) /
+                                static_cast<double>(config_.total_nodes);
+    const double rack_capacity =
+        static_cast<double>((config_.pool_per_rack * config_.racks()).count());
+    if (rack_capacity > 0.0) {
+      metrics_.rack_pool_utilization =
+          rack_pool_tw_.finish(horizon) / rack_capacity;
+      metrics_.rack_pool_peak = rack_pool_tw_.peak() / rack_capacity;
+    }
+    const double global_capacity =
+        static_cast<double>(config_.global_pool.count());
+    if (global_capacity > 0.0) {
+      metrics_.global_pool_utilization =
+          global_pool_tw_.finish(horizon) / global_capacity;
+      metrics_.global_pool_peak = global_pool_tw_.peak() / global_capacity;
+    }
+  }
+  metrics_.jobs.reserve(trace_.size());
+  for (const Job& j : trace_.jobs()) {
+    const JobRuntime& r = rt_[j.id];
+    JobOutcome o;
+    o.id = j.id;
+    o.fate = r.state == JobState::kRejected
+                 ? JobFate::kRejected
+                 : (r.killed ? JobFate::kKilled : JobFate::kCompleted);
+    o.submit = j.submit;
+    o.start = r.start;
+    o.end = r.end;
+    o.dilation = r.dilation;
+    o.far_rack = r.far_rack;
+    o.far_global = r.far_global;
+    o.nodes = j.nodes;
+    o.mem_per_node = j.mem_per_node;
+    o.runtime = j.runtime;
+    o.sensitivity = j.sensitivity;
+    o.user = j.user;
+    metrics_.jobs.push_back(o);
+  }
+  metrics_.finalize();
+  return std::move(metrics_);
+}
+
+}  // namespace dmsched

@@ -1,0 +1,116 @@
+// SchedulingSimulation: binds a trace, a machine, and a scheduler into one
+// deterministic discrete-event run and produces RunMetrics.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/stats.hpp"
+#include "core/metrics.hpp"
+#include "memory/placement.hpp"
+#include "memory/slowdown.hpp"
+#include "sched/queue_policy.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "workload/trace.hpp"
+
+namespace dmsched {
+
+/// Engine-level knobs shared by all schedulers.
+struct EngineOptions {
+  PlacementPolicy placement{};
+  SlowdownModel slowdown{};
+  QueueOrder queue_order = QueueOrder::kFcfs;
+  /// Enforce walltime limits: a job whose *dilated* runtime exceeds its
+  /// request is killed at the limit, as production RJMSs do. Off by default
+  /// so dilation effects are measured in full (see DESIGN.md §4).
+  bool kill_on_walltime = false;
+  /// Sample the system time series at this interval (0 = disabled).
+  SimTime sample_interval{};
+  /// Run a full cluster audit after every completion (tests only; O(nodes)).
+  bool audit_cluster = false;
+};
+
+/// One simulation run. Create, call run(), read the metrics.
+///
+/// The trace is held by reference (traces are shared across many runs in
+/// sweeps) and must outlive the simulation — do not pass a temporary.
+///
+/// Lifecycle semantics (DESIGN.md §4):
+///  - submissions enter the queue unless the job can never fit the machine
+///    (rejected with fate kRejected);
+///  - a scheduling pass runs after all state changes at a timestamp;
+///  - a started job completes after runtime × dilation;
+///  - planning bounds (`RunningJob::expected_end`) use walltime × dilation.
+class SchedulingSimulation final : public SchedContext {
+ public:
+  SchedulingSimulation(ClusterConfig config, const Trace& trace,
+                       std::unique_ptr<Scheduler> scheduler,
+                       EngineOptions options);
+
+  /// Run to completion (all jobs terminal) and return the metrics.
+  RunMetrics run();
+
+  // --- SchedContext ---------------------------------------------------------
+  [[nodiscard]] SimTime now() const override;
+  [[nodiscard]] const Cluster& cluster() const override;
+  [[nodiscard]] const Job& job(JobId id) const override;
+  [[nodiscard]] std::vector<JobId> queued_jobs() const override;
+  [[nodiscard]] std::vector<RunningJob> running_jobs() const override;
+  [[nodiscard]] PlacementPolicy placement() const override;
+  [[nodiscard]] const SlowdownModel& slowdown() const override;
+  void start_job(JobId id, const Allocation& alloc) override;
+
+  /// Counted resource view of an allocation (exposed for tests).
+  [[nodiscard]] static TakePlan take_from_allocation(const Allocation& alloc,
+                                                     const ClusterConfig& cfg);
+
+ private:
+  enum class JobState : std::uint8_t {
+    kPending,   ///< submission event not fired yet
+    kQueued,    ///< waiting
+    kRunning,
+    kDone,      ///< completed or killed
+    kRejected,  ///< can never fit this machine
+  };
+  struct JobRuntime {
+    JobState state = JobState::kPending;
+    SimTime start{};
+    SimTime end{};
+    SimTime expected_end{};
+    double dilation = 1.0;
+    bool killed = false;
+    TakePlan take;
+    Bytes far_rack{};
+    Bytes far_global{};
+  };
+
+  void handle_submit(JobId id);
+  void handle_complete(JobId id);
+  void request_schedule_pass();
+  void record_usage_change();
+  void sample_series();
+
+  ClusterConfig config_;
+  const Trace& trace_;
+  std::unique_ptr<Scheduler> scheduler_;
+  EngineOptions options_;
+
+  sim::Engine engine_;
+  Cluster cluster_;
+  std::vector<JobRuntime> rt_;
+  std::vector<JobId> queue_;    // waiting, unordered
+  std::vector<JobId> running_;  // running, unordered
+  std::size_t live_jobs_ = 0;   // not yet terminal
+  bool pass_pending_ = false;
+  bool run_called_ = false;
+
+  RunMetrics metrics_;
+  TimeWeightedMean busy_nodes_tw_;
+  TimeWeightedMean rack_pool_tw_;
+  TimeWeightedMean global_pool_tw_;
+  SimTime last_end_{};
+};
+
+}  // namespace dmsched

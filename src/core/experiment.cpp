@@ -1,0 +1,25 @@
+#include "core/experiment.hpp"
+
+namespace dmsched {
+
+Trace make_workload(const ExperimentConfig& config) {
+  return make_model_trace(config.model, config.jobs, config.seed,
+                          config.cluster.total_nodes,
+                          config.workload_reference_mem, config.target_load);
+}
+
+RunMetrics run_experiment(const ExperimentConfig& config) {
+  const Trace trace = make_workload(config);
+  return run_experiment(config, trace);
+}
+
+RunMetrics run_experiment(const ExperimentConfig& config, const Trace& trace) {
+  SchedulingSimulation sim(config.cluster, trace,
+                           make_scheduler(config.scheduler, config.mem_options),
+                           config.engine);
+  RunMetrics metrics = sim.run();
+  if (!config.label.empty()) metrics.label = config.label;
+  return metrics;
+}
+
+}  // namespace dmsched

@@ -1,0 +1,44 @@
+// Experiment runner: one struct describes a run end-to-end, so every bench
+// binary and test speaks the same vocabulary.
+#pragma once
+
+#include <string>
+
+#include "cluster/config.hpp"
+#include "core/engine.hpp"
+#include "core/factory.hpp"
+#include "workload/models.hpp"
+
+namespace dmsched {
+
+/// A fully-specified simulation run.
+struct ExperimentConfig {
+  std::string label;
+  ClusterConfig cluster;
+  SchedulerKind scheduler = SchedulerKind::kMemAwareEasy;
+  MemAwareOptions mem_options{};
+  EngineOptions engine{};
+
+  // Workload: generated on demand from a model...
+  WorkloadModel model = WorkloadModel::kMixed;
+  std::size_t jobs = 5000;
+  std::uint64_t seed = 42;
+  double target_load = 1.0;
+  /// ...with footprints scaled against this reference (defaults to the
+  /// *reference machine's* node size so shrinking local memory in
+  /// `cluster` does not silently shrink the workload too).
+  Bytes workload_reference_mem = gib(std::int64_t{256});
+};
+
+/// Generate the config's workload (deterministic in the config).
+[[nodiscard]] Trace make_workload(const ExperimentConfig& config);
+
+/// Run one experiment on a freshly generated workload.
+[[nodiscard]] RunMetrics run_experiment(const ExperimentConfig& config);
+
+/// Run one experiment on a caller-provided trace (for SWF replays and for
+/// sharing one generated trace across many configs).
+[[nodiscard]] RunMetrics run_experiment(const ExperimentConfig& config,
+                                        const Trace& trace);
+
+}  // namespace dmsched

@@ -1,0 +1,32 @@
+// Scheduler construction by name/kind — the single switch the harnesses use.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mem_aware_easy.hpp"
+#include "sched/scheduler.hpp"
+
+namespace dmsched {
+
+/// Every scheduling policy in the evaluation.
+enum class SchedulerKind {
+  kFcfs,         ///< strict FCFS, no backfilling
+  kEasy,         ///< EASY backfilling, node-only reservations (baseline)
+  kConservative, ///< conservative backfilling over the 2-D profile
+  kMemAwareEasy, ///< the paper's memory-aware EASY
+  kAdaptive,     ///< memory-aware EASY + defer-vs-dilate routing
+};
+
+[[nodiscard]] const char* to_string(SchedulerKind kind);
+[[nodiscard]] SchedulerKind scheduler_kind_from_string(const std::string& s);
+/// All kinds in evaluation order.
+[[nodiscard]] std::vector<SchedulerKind> all_scheduler_kinds();
+
+/// Instantiate a scheduler. `mem_options` applies to the memory-aware
+/// variants (ignored by the baselines).
+[[nodiscard]] std::unique_ptr<Scheduler> make_scheduler(
+    SchedulerKind kind, const MemAwareOptions& mem_options = {});
+
+}  // namespace dmsched

@@ -1,0 +1,85 @@
+#include "core/fairness.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.hpp"
+
+namespace dmsched {
+
+double jain_index(const std::vector<double>& values) {
+  if (values.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : values) {
+    DMSCHED_ASSERT(x >= 0.0, "jain_index: negative value");
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all zeros: perfectly even
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+FairnessReport fairness_report(const RunMetrics& metrics) {
+  struct Accum {
+    std::size_t jobs = 0;
+    std::size_t rejected = 0;
+    double wait_h = 0.0;
+    double bsld = 0.0;
+    double node_hours = 0.0;
+  };
+  // The user id is not carried in JobOutcome; recover per-user identity via
+  // the job records' ids is not possible without the trace, so outcomes are
+  // grouped by the `user` field stored on the outcome.
+  std::map<std::int32_t, Accum> by_user;
+  for (const JobOutcome& o : metrics.jobs) {
+    Accum& a = by_user[o.user];
+    if (o.fate == JobFate::kRejected) {
+      ++a.rejected;
+      continue;
+    }
+    ++a.jobs;
+    a.wait_h += o.wait().hours();
+    a.bsld += o.bounded_slowdown();
+    a.node_hours += static_cast<double>(o.nodes) * o.runtime.hours();
+  }
+
+  FairnessReport report;
+  std::vector<double> bslds;
+  std::vector<double> waits;
+  double total_node_hours = 0.0;
+  for (const auto& [user, a] : by_user) {
+    if (a.jobs == 0) continue;
+    UserStats s;
+    s.user = user;
+    s.jobs = a.jobs;
+    s.rejected = a.rejected;
+    const auto n = static_cast<double>(a.jobs);
+    s.mean_wait_hours = a.wait_h / n;
+    s.mean_bsld = a.bsld / n;
+    s.node_hours = a.node_hours;
+    total_node_hours += a.node_hours;
+    bslds.push_back(s.mean_bsld);
+    waits.push_back(s.mean_wait_hours + 1.0);
+    report.users.push_back(s);
+  }
+  report.jain_bsld = jain_index(bslds);
+  report.jain_wait = jain_index(waits);
+  if (!bslds.empty()) {
+    const auto [lo, hi] = std::minmax_element(bslds.begin(), bslds.end());
+    report.max_min_bsld_ratio = *lo > 0.0 ? *hi / *lo : 1.0;
+  }
+  if (total_node_hours > 0.0 && !report.users.empty()) {
+    std::vector<double> shares;
+    shares.reserve(report.users.size());
+    for (const auto& u : report.users) shares.push_back(u.node_hours);
+    std::sort(shares.begin(), shares.end(), std::greater<>());
+    const std::size_t decile = std::max<std::size_t>(1, shares.size() / 10);
+    double top = 0.0;
+    for (std::size_t i = 0; i < decile; ++i) top += shares[i];
+    report.top_decile_node_share = top / total_node_hours;
+  }
+  return report;
+}
+
+}  // namespace dmsched

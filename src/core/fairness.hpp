@@ -1,0 +1,47 @@
+// Per-user fairness analysis.
+//
+// Schedulers that chase aggregate wait can starve individual users;
+// multi-resource papers therefore report per-user service statistics and a
+// fairness index. DMSched computes Jain's index over per-user mean bounded
+// slowdown and wait: 1.0 = perfectly even service, 1/n = one user gets
+// everything.
+#pragma once
+
+#include <vector>
+
+#include "core/metrics.hpp"
+
+namespace dmsched {
+
+/// Aggregated outcomes for one user.
+struct UserStats {
+  std::int32_t user = 0;
+  std::size_t jobs = 0;          ///< started jobs (rejected excluded)
+  std::size_t rejected = 0;
+  double mean_wait_hours = 0.0;
+  double mean_bsld = 0.0;
+  /// Consumed node-hours (undilated runtime × nodes) — the user's "share".
+  double node_hours = 0.0;
+};
+
+/// Fairness summary of one run.
+struct FairnessReport {
+  std::vector<UserStats> users;  ///< sorted by user id; users with ≥1 started job
+  /// Jain's fairness index over per-user mean bounded slowdown.
+  double jain_bsld = 1.0;
+  /// Jain's fairness index over per-user mean wait (hours, +1 to avoid the
+  /// degenerate all-zero case).
+  double jain_wait = 1.0;
+  /// Worst-served user's mean bsld over best-served user's (≥ 1).
+  double max_min_bsld_ratio = 1.0;
+  /// Fraction of delivered node-hours consumed by the top-decile users.
+  double top_decile_node_share = 0.0;
+};
+
+/// Jain's index (Σx)² / (n·Σx²) for non-negative values; 1.0 when empty.
+[[nodiscard]] double jain_index(const std::vector<double>& values);
+
+/// Build the per-user fairness report from a finished run.
+[[nodiscard]] FairnessReport fairness_report(const RunMetrics& metrics);
+
+}  // namespace dmsched

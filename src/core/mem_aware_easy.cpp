@@ -1,0 +1,239 @@
+#include "core/mem_aware_easy.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/assert.hpp"
+#include "sched/profile.hpp"
+
+namespace dmsched {
+
+const char* to_string(BackfillOrder order) {
+  switch (order) {
+    case BackfillOrder::kQueueOrder: return "queue-order";
+    case BackfillOrder::kShortestFirst: return "shortest-first";
+    case BackfillOrder::kBestMemFit: return "best-mem-fit";
+  }
+  return "?";
+}
+
+MemAwareEasyScheduler::MemAwareEasyScheduler(MemAwareOptions options)
+    : options_(options) {
+  DMSCHED_ASSERT(options_.backfill_window > 0, "mem-easy: zero window");
+  DMSCHED_ASSERT(options_.reservation_depth > 0,
+                 "mem-easy: need at least the head reservation");
+}
+
+namespace {
+
+/// A start option: when, with what resources, at what dilation cost.
+struct FitChoice {
+  FreeProfile::Fit fit;
+  double dilation = 1.0;
+  /// Walltime-bounded completion estimate: fit.time + walltime × dilation.
+  SimTime finish_bound{};
+};
+
+/// Estimated-finish evaluation of the earliest *window* fit under `policy`.
+/// Window fitting is required once reservations (future holds) are in the
+/// profile; on a monotone profile it equals the instantaneous fit.
+std::optional<FitChoice> evaluate_fit(const FreeProfile& profile,
+                                      const Job& job, const SchedContext& ctx,
+                                      PlacementPolicy policy) {
+  const auto duration_of = [&](const TakePlan& plan) {
+    const double dil = ctx.slowdown().dilation_bytes(
+        plan.rack_pool_total(), plan.global_total(), job.total_mem(),
+        job.sensitivity);
+    return job.walltime.scaled(dil);
+  };
+  auto fit = profile.earliest_fit_window(job, policy, duration_of);
+  if (!fit) return std::nullopt;
+  const double dil = ctx.slowdown().dilation_bytes(
+      fit->plan.rack_pool_total(), fit->plan.global_total(), job.total_mem(),
+      job.sensitivity);
+  FitChoice choice{std::move(*fit), dil, SimTime{}};
+  choice.finish_bound = choice.fit.time + job.walltime.scaled(dil);
+  return choice;
+}
+
+/// Plain mode: earliest fit under the configured policy. Adaptive mode:
+/// also evaluate a rack-pool-only start and pick whichever finishes sooner
+/// (deferral must win by the configured margin).
+std::optional<FitChoice> choose_fit(const FreeProfile& profile, const Job& job,
+                                    const SchedContext& ctx,
+                                    const MemAwareOptions& opts) {
+  const PlacementPolicy base = ctx.placement();
+  auto primary = evaluate_fit(profile, job, ctx, base);
+  if (!opts.adaptive || base.routing == PoolRouting::kRackOnly) {
+    return primary;
+  }
+  PlacementPolicy rack_only = base;
+  rack_only.routing = PoolRouting::kRackOnly;
+  auto alt = evaluate_fit(profile, job, ctx, rack_only);
+  if (!primary) return alt;
+  if (!alt) return primary;
+  if (alt->finish_bound.seconds() + opts.adaptive_margin_sec <
+      primary->finish_bound.seconds()) {
+    return alt;  // waiting for cheap rack memory beats dilating now
+  }
+  return primary;
+}
+
+/// One protected reservation.
+struct Reservation {
+  JobId id = kInvalidJobId;
+  SimTime start{};
+  SimTime finish_bound{};
+};
+
+/// Compute reservations for `jobs` in order, adding each one's hold to the
+/// profile so later reservations (and backfill checks) respect it.
+std::vector<Reservation> place_reservations(FreeProfile& profile,
+                                            const std::vector<JobId>& jobs,
+                                            const SchedContext& ctx,
+                                            const MemAwareOptions& opts) {
+  std::vector<Reservation> reservations;
+  reservations.reserve(jobs.size());
+  for (const JobId id : jobs) {
+    const Job& job = ctx.job(id);
+    const auto choice = choose_fit(profile, job, ctx, opts);
+    // Admitted jobs always fit once the profile drains.
+    DMSCHED_ASSERT(choice.has_value(),
+                   "mem-easy: admitted job has no reservation");
+    profile.add_hold(choice->fit.time, choice->finish_bound,
+                     choice->fit.plan);
+    reservations.push_back({id, choice->fit.time, choice->finish_bound});
+  }
+  return reservations;
+}
+
+/// True when `fresh` does not delay any job relative to `baseline`
+/// (pairwise by index: same jobs, same order).
+bool no_regression(const std::vector<Reservation>& baseline,
+                   const std::vector<Reservation>& fresh) {
+  DMSCHED_ASSERT(baseline.size() == fresh.size(),
+                 "reservation recount mismatch");
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    if (fresh[i].start > baseline[i].start) return false;
+    if (fresh[i].finish_bound > baseline[i].finish_bound) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void MemAwareEasyScheduler::schedule(SchedContext& ctx) {
+  auto queue = ctx.queued_jobs();
+  std::size_t qi = 0;
+  const SimTime now = ctx.now();
+  const ClusterConfig& config = ctx.cluster().config();
+
+  // Phase 1: start from the head while the chosen fit is "now". The profile
+  // is rebuilt after every start (the start changed the base state).
+  while (qi < queue.size()) {
+    const Job& head = ctx.job(queue[qi]);
+    FreeProfile profile = FreeProfile::from_context(ctx);
+    auto choice = choose_fit(profile, head, ctx, options_);
+    DMSCHED_ASSERT(choice.has_value(),
+                   "mem-easy: admitted head job has no fit at drain");
+    if (choice->fit.time > now) break;
+    const Allocation alloc = materialize(ctx.cluster(), head, choice->fit.plan);
+    ctx.start_job(queue[qi], alloc);
+    ++qi;
+  }
+  if (qi >= queue.size()) return;
+
+  // Phase 2: the first K blocked jobs receive protected reservations
+  // (EASY-K; K=1 is classic EASY). `profile` carries only releases and
+  // accepted backfills; reservations are recomputed from it on demand so
+  // candidate what-if checks can rebuild them cheaply.
+  const std::size_t depth =
+      std::min(options_.reservation_depth, queue.size() - qi);
+  const std::vector<JobId> reserved_jobs(
+      queue.begin() + static_cast<std::ptrdiff_t>(qi),
+      queue.begin() + static_cast<std::ptrdiff_t>(qi + depth));
+  FreeProfile profile = FreeProfile::from_context(ctx);
+  const auto baseline_mark = profile.mark();
+  const std::vector<Reservation> baseline =
+      place_reservations(profile, reserved_jobs, ctx, options_);
+  profile.rollback(baseline_mark);
+
+  // Phase 3: examine backfill candidates (everything behind the reserved
+  // prefix).
+  std::vector<JobId> candidates(
+      queue.begin() + static_cast<std::ptrdiff_t>(qi + depth), queue.end());
+  switch (options_.order) {
+    case BackfillOrder::kQueueOrder:
+      break;
+    case BackfillOrder::kShortestFirst:
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [&](JobId a, JobId b) {
+                         return ctx.job(a).walltime < ctx.job(b).walltime;
+                       });
+      break;
+    case BackfillOrder::kBestMemFit:
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [&](JobId a, JobId b) {
+                         const Bytes local = config.local_mem_per_node;
+                         const Bytes da =
+                             ctx.job(a).mem_per_node -
+                             min(ctx.job(a).mem_per_node, local);
+                         const Bytes db =
+                             ctx.job(b).mem_per_node -
+                             min(ctx.job(b).mem_per_node, local);
+                         return da > db;  // hardest-to-place first
+                       });
+      break;
+  }
+
+  std::size_t examined = 0;
+  for (JobId cid : candidates) {
+    if (examined >= options_.backfill_window) break;
+    ++examined;
+    const Job& cand = ctx.job(cid);
+    auto take = compute_take(profile.state_at(now), config, cand,
+                             ctx.placement());
+    if (!take) continue;
+
+    const double dil = ctx.slowdown().dilation_bytes(
+        take->rack_pool_total(), take->global_total(), cand.total_mem(),
+        cand.sensitivity);
+
+    // Adaptive veto: skip a backfill that spills to the global tier when a
+    // rack-pool-fed start later would finish sooner anyway.
+    if (options_.adaptive && !take->global_total().is_zero()) {
+      PlacementPolicy rack_only = ctx.placement();
+      rack_only.routing = PoolRouting::kRackOnly;
+      const auto alt = evaluate_fit(profile, cand, ctx, rack_only);
+      const SimTime now_finish = now + cand.walltime.scaled(dil);
+      if (alt && alt->finish_bound.seconds() + options_.adaptive_margin_sec <
+                     now_finish.seconds()) {
+        continue;
+      }
+    }
+
+    const SimTime end_bound = now + cand.walltime.scaled(dil);
+    const auto mark = profile.mark();
+    profile.add_hold(now, end_bound, *take);
+    // Fast path: a candidate that returns everything before the earliest
+    // reservation begins cannot delay any reservation.
+    bool accept = !baseline.empty() && end_bound <= baseline.front().start;
+    if (!accept) {
+      // What-if: recompute all reservations with the candidate held and
+      // require that none regresses.
+      const auto what_if_mark = profile.mark();
+      const std::vector<Reservation> fresh =
+          place_reservations(profile, reserved_jobs, ctx, options_);
+      profile.rollback(what_if_mark);
+      accept = no_regression(baseline, fresh);
+    }
+    if (!accept) {
+      profile.rollback(mark);
+      continue;
+    }
+    const Allocation alloc = materialize(ctx.cluster(), cand, *take);
+    ctx.start_job(cid, alloc);
+  }
+}
+
+}  // namespace dmsched

@@ -1,0 +1,67 @@
+// The paper's contribution: disaggregation-aware EASY backfilling, plus the
+// adaptive defer-vs-dilate variant.
+//
+// Differences from the memory-unaware baseline (sched/easy.cpp):
+//  1. The head job's reservation is computed over the FULL 2-D resource
+//     profile (free nodes AND free pool bytes per rack/global), so a
+//     memory-blocked head actually gets a protected start time.
+//  2. A backfill candidate that cannot be proven to finish before the head's
+//     reservation is accepted only if re-fitting the head *with the
+//     candidate's resources held* does not delay the head. This check is in
+//     the same 2-D space, so backfills can no longer starve the head of
+//     pool bytes (the baseline's failure mode).
+//  3. Optionally (adaptive mode), every start decision minimizes *estimated
+//     completion*: starting now with expensive global-pool spillage is
+//     weighed against reserving a later start fed by cheaper rack-local
+//     pool. This is the defer-vs-dilate tradeoff.
+#pragma once
+
+#include <cstddef>
+
+#include "sched/scheduler.hpp"
+
+namespace dmsched {
+
+/// Order in which backfill candidates are examined.
+enum class BackfillOrder {
+  kQueueOrder,     ///< queue-policy order (classic)
+  kShortestFirst,  ///< shortest requested walltime first
+  kBestMemFit,     ///< largest per-node memory deficit first
+};
+
+[[nodiscard]] const char* to_string(BackfillOrder order);
+
+/// Tuning for MemAwareEasyScheduler.
+struct MemAwareOptions {
+  BackfillOrder order = BackfillOrder::kQueueOrder;
+  /// Max backfill candidates examined per pass (each costs one profile
+  /// sweep in the worst case).
+  std::size_t backfill_window = 256;
+  /// EASY-K: how many blocked queue-front jobs receive protected
+  /// reservations. 1 is classic EASY (head only); larger values trade
+  /// backfill aggressiveness for fairness to the queue front, interpolating
+  /// toward conservative backfilling.
+  std::size_t reservation_depth = 1;
+  /// Enable defer-vs-dilate: choose the start (now vs reserved-later, with
+  /// the dilation each option implies) minimizing estimated completion.
+  bool adaptive = false;
+  /// Deferral must win by at least this margin (seconds) — hysteresis so
+  /// marginal predictions do not hold resources idle.
+  double adaptive_margin_sec = 0.0;
+};
+
+/// Memory-aware EASY backfilling (see file header).
+class MemAwareEasyScheduler final : public Scheduler {
+ public:
+  explicit MemAwareEasyScheduler(MemAwareOptions options = {});
+
+  [[nodiscard]] const char* name() const override {
+    return options_.adaptive ? "adaptive" : "mem-easy";
+  }
+  void schedule(SchedContext& ctx) override;
+
+ private:
+  MemAwareOptions options_;
+};
+
+}  // namespace dmsched

@@ -1,0 +1,56 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace dmsched {
+
+double JobOutcome::bounded_slowdown() const {
+  const double denom =
+      std::max(runtime.seconds(), kBsldThreshold.seconds());
+  const double resp = response().seconds();
+  return std::max(1.0, resp / denom);
+}
+
+void RunMetrics::finalize() {
+  completed = killed = rejected = 0;
+  SampleStats wait_h, bsld;
+  StreamingStats dilation_stats;
+  std::size_t started = 0;
+  std::size_t far_jobs = 0;
+  far_gib_hours = 0.0;
+  for (const JobOutcome& j : jobs) {
+    switch (j.fate) {
+      case JobFate::kRejected:
+        ++rejected;
+        continue;
+      case JobFate::kKilled:
+        ++killed;
+        break;
+      case JobFate::kCompleted:
+        ++completed;
+        break;
+    }
+    ++started;
+    wait_h.add(j.wait().hours());
+    bsld.add(j.bounded_slowdown());
+    dilation_stats.add(j.dilation);
+    if (j.used_far_memory()) ++far_jobs;
+    far_gib_hours += j.far_total().gib() * (j.end - j.start).hours();
+  }
+  mean_wait_hours = wait_h.mean();
+  p95_wait_hours = wait_h.percentile(95);
+  max_wait_hours = wait_h.max();
+  mean_bsld = bsld.mean();
+  p95_bsld = bsld.percentile(95);
+  mean_dilation = dilation_stats.mean();
+  frac_jobs_far =
+      started == 0 ? 0.0
+                   : static_cast<double>(far_jobs) / static_cast<double>(started);
+  jobs_per_hour = makespan.hours() <= 0.0
+                      ? 0.0
+                      : static_cast<double>(completed) / makespan.hours();
+}
+
+}  // namespace dmsched

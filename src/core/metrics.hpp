@@ -1,0 +1,97 @@
+// Run metrics: everything the evaluation section reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "workload/job.hpp"
+
+namespace dmsched {
+
+/// Threshold for bounded slowdown (the conventional 10 seconds).
+constexpr SimTime kBsldThreshold = seconds(std::int64_t{10});
+
+/// Terminal state of one job after a run.
+enum class JobFate : std::uint8_t {
+  kCompleted,  ///< ran to completion
+  kKilled,     ///< hit its walltime limit (when enforcement is on)
+  kRejected,   ///< can never run on this machine configuration
+};
+
+/// Per-job outcome record.
+struct JobOutcome {
+  JobId id = kInvalidJobId;
+  JobFate fate = JobFate::kCompleted;
+  SimTime submit{};
+  SimTime start{};  ///< meaningless for rejected jobs
+  SimTime end{};
+  /// Runtime dilation factor its allocation incurred (1.0 = all-local).
+  double dilation = 1.0;
+  /// Far bytes drawn from rack pools / the global pool.
+  Bytes far_rack{};
+  Bytes far_global{};
+  // Static job properties copied for breakdown tables:
+  std::int32_t nodes = 0;
+  Bytes mem_per_node{};
+  SimTime runtime{};  ///< undilated
+  MemSensitivity sensitivity = MemSensitivity::kBalanced;
+  std::int32_t user = 0;  ///< submitting user (fairness analyses)
+
+  [[nodiscard]] SimTime wait() const { return start - submit; }
+  [[nodiscard]] SimTime response() const { return end - submit; }
+  /// Bounded slowdown: (wait + dilated runtime) / max(undilated runtime, τ).
+  /// Using the undilated denominator charges the dilation penalty to the
+  /// metric, which is what a disaggregation study must measure.
+  [[nodiscard]] double bounded_slowdown() const;
+  [[nodiscard]] Bytes far_total() const { return far_rack + far_global; }
+  [[nodiscard]] bool used_far_memory() const { return !far_total().is_zero(); }
+};
+
+/// One sample of the system time series (Fig. 7 style plots).
+struct TimeSample {
+  SimTime time{};
+  std::int32_t busy_nodes = 0;
+  std::int32_t queued_jobs = 0;
+  std::int32_t running_jobs = 0;
+  Bytes rack_pool_used{};
+  Bytes global_pool_used{};
+};
+
+/// Aggregated results of one simulation run.
+struct RunMetrics {
+  std::string label;
+  std::vector<JobOutcome> jobs;
+  std::vector<TimeSample> series;  ///< empty unless sampling was enabled
+
+  SimTime makespan{};  ///< first submission to last completion
+  /// Node utilization: busy node-time / (total nodes × makespan).
+  double node_utilization = 0.0;
+  /// Mean/peak fraction of rack-pool capacity in use (0 when no pools).
+  double rack_pool_utilization = 0.0;
+  double rack_pool_peak = 0.0;
+  double global_pool_utilization = 0.0;
+  double global_pool_peak = 0.0;
+
+  // --- derived aggregates (filled by finalize()) -------------------------
+  std::size_t completed = 0;
+  std::size_t killed = 0;
+  std::size_t rejected = 0;
+  double mean_wait_hours = 0.0;
+  double p95_wait_hours = 0.0;
+  double max_wait_hours = 0.0;
+  double mean_bsld = 0.0;
+  double p95_bsld = 0.0;
+  double mean_dilation = 0.0;  ///< over started jobs
+  double frac_jobs_far = 0.0;  ///< fraction of started jobs using any pool
+  /// Aggregate far-memory usage integrated over time (GiB·hours).
+  double far_gib_hours = 0.0;
+  /// Throughput: completed jobs per hour of makespan.
+  double jobs_per_hour = 0.0;
+
+  /// Compute the derived aggregates from `jobs`. Call once after the run.
+  void finalize();
+};
+
+}  // namespace dmsched

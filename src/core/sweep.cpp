@@ -1,0 +1,56 @@
+#include "core/sweep.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "common/assert.hpp"
+
+namespace dmsched {
+
+void parallel_for_index(std::size_t count, unsigned threads,
+                        const std::function<void(std::size_t)>& fn) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (count == 0) return;
+  if (threads == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  {
+    std::vector<std::jthread> workers;
+    const unsigned n = static_cast<unsigned>(
+        std::min<std::size_t>(threads, count));
+    workers.reserve(n);
+    for (unsigned w = 0; w < n; ++w) {
+      workers.emplace_back([&next, count, &fn] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= count) return;
+          fn(i);
+        }
+      });
+    }
+  }  // jthread joins here
+}
+
+std::vector<RunMetrics> run_sweep(const std::vector<ExperimentConfig>& configs,
+                                  unsigned threads) {
+  std::vector<RunMetrics> results(configs.size());
+  parallel_for_index(configs.size(), threads, [&](std::size_t i) {
+    results[i] = run_experiment(configs[i]);
+  });
+  return results;
+}
+
+std::vector<RunMetrics> run_sweep_on_trace(
+    const std::vector<ExperimentConfig>& configs, const Trace& trace,
+    unsigned threads) {
+  std::vector<RunMetrics> results(configs.size());
+  parallel_for_index(configs.size(), threads, [&](std::size_t i) {
+    results[i] = run_experiment(configs[i], trace);
+  });
+  return results;
+}
+
+}  // namespace dmsched

@@ -1,0 +1,31 @@
+// Parallel parameter-sweep harness.
+//
+// Simulation runs are independent, so sweeps parallelize embarrassingly.
+// Following the CP.* concurrency guidelines: no shared mutable state between
+// workers (each owns its slot in the results vector), RAII threads
+// (std::jthread), work distribution through a single atomic counter.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace dmsched {
+
+/// Run every experiment (each generating its own workload) and return
+/// metrics in input order. `threads == 0` means hardware concurrency.
+[[nodiscard]] std::vector<RunMetrics> run_sweep(
+    const std::vector<ExperimentConfig>& configs, unsigned threads = 0);
+
+/// Run every experiment against one shared trace (comparisons on identical
+/// workloads). The trace must outlive the call.
+[[nodiscard]] std::vector<RunMetrics> run_sweep_on_trace(
+    const std::vector<ExperimentConfig>& configs, const Trace& trace,
+    unsigned threads = 0);
+
+/// Generic parallel map used by both entry points (exposed for tests).
+void parallel_for_index(std::size_t count, unsigned threads,
+                        const std::function<void(std::size_t)>& fn);
+
+}  // namespace dmsched

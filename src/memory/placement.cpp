@@ -1,0 +1,266 @@
+#include "memory/placement.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace dmsched {
+
+const char* to_string(NodeSelection s) {
+  switch (s) {
+    case NodeSelection::kFirstFit: return "first-fit";
+    case NodeSelection::kPackRacks: return "pack-racks";
+    case NodeSelection::kSpreadRacks: return "spread-racks";
+    case NodeSelection::kPoolAware: return "pool-aware";
+  }
+  return "?";
+}
+
+const char* to_string(PoolRouting r) {
+  switch (r) {
+    case PoolRouting::kRackOnly: return "rack-only";
+    case PoolRouting::kRackThenGlobal: return "rack-then-global";
+    case PoolRouting::kGlobalOnly: return "global-only";
+  }
+  return "?";
+}
+
+std::int32_t ResourceState::total_free_nodes() const {
+  return std::accumulate(free_nodes.begin(), free_nodes.end(),
+                         std::int32_t{0});
+}
+
+ResourceState snapshot(const Cluster& cluster) {
+  const auto racks = cluster.config().racks();
+  ResourceState s;
+  s.free_nodes.reserve(static_cast<std::size_t>(racks));
+  s.pool_free.reserve(static_cast<std::size_t>(racks));
+  for (RackId r = 0; r < racks; ++r) {
+    s.free_nodes.push_back(cluster.free_nodes_in_rack(r));
+    s.pool_free.push_back(cluster.pool_free(r));
+  }
+  s.global_free = cluster.global_pool_free();
+  return s;
+}
+
+ResourceState empty_state(const ClusterConfig& config) {
+  ResourceState s;
+  const auto racks = config.racks();
+  for (RackId r = 0; r < racks; ++r) {
+    s.free_nodes.push_back(config.rack_size(r));
+    s.pool_free.push_back(config.pool_per_rack);
+  }
+  s.global_free = config.global_pool;
+  return s;
+}
+
+Bytes TakePlan::global_total() const {
+  Bytes total{};
+  for (const auto& t : takes) total += t.global_pool_bytes;
+  return total;
+}
+
+Bytes TakePlan::rack_pool_total() const {
+  Bytes total{};
+  for (const auto& t : takes) total += t.rack_pool_bytes;
+  return total;
+}
+
+std::int32_t TakePlan::node_total() const {
+  std::int32_t n = 0;
+  for (const auto& t : takes) n += t.nodes;
+  return n;
+}
+
+namespace {
+
+/// Rack visit order under a selection policy. Deterministic: ties break on
+/// rack index.
+std::vector<RackId> rack_order(const ResourceState& state,
+                               NodeSelection selection, bool has_deficit) {
+  std::vector<RackId> order(state.free_nodes.size());
+  std::iota(order.begin(), order.end(), 0);
+  auto stable_by = [&](auto key) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](RackId a, RackId b) { return key(a) < key(b); });
+  };
+  switch (selection) {
+    case NodeSelection::kFirstFit:
+      break;  // index order
+    case NodeSelection::kPackRacks:
+      // Most free nodes first => job spans the fewest racks.
+      stable_by([&](RackId r) {
+        return -state.free_nodes[static_cast<std::size_t>(r)];
+      });
+      break;
+    case NodeSelection::kSpreadRacks:
+      // Least-loaded... i.e. fewest free last? Spreading = take from racks
+      // with the most free capacity one at a time; approximated by visiting
+      // emptiest-first which still spreads wide jobs across many racks.
+      stable_by([&](RackId r) {
+        return state.free_nodes[static_cast<std::size_t>(r)];
+      });
+      break;
+    case NodeSelection::kPoolAware:
+      if (has_deficit) {
+        // Deficit jobs chase pool-rich racks to avoid the global tier.
+        stable_by([&](RackId r) {
+          return -state.pool_free[static_cast<std::size_t>(r)].count();
+        });
+      } else {
+        // Local jobs keep away from pool-rich racks, preserving them for
+        // deficit jobs; among equals prefer fuller racks (packing).
+        stable_by([&](RackId r) {
+          return std::pair{state.pool_free[static_cast<std::size_t>(r)].count(),
+                           -state.free_nodes[static_cast<std::size_t>(r)]};
+        });
+      }
+      break;
+  }
+  return order;
+}
+
+}  // namespace
+
+std::optional<TakePlan> compute_take(const ResourceState& state,
+                                     const ClusterConfig& config,
+                                     const Job& job, PlacementPolicy policy) {
+  DMSCHED_ASSERT(state.free_nodes.size() ==
+                     static_cast<std::size_t>(config.racks()),
+                 "compute_take: state shape mismatch");
+  TakePlan plan;
+  plan.local_per_node = min(job.mem_per_node, config.local_mem_per_node);
+  plan.far_per_node = job.mem_per_node - plan.local_per_node;
+  const Bytes d = plan.far_per_node;
+
+  std::int32_t remaining = job.nodes;
+  const auto order = rack_order(state, policy.selection, !d.is_zero());
+
+  if (d.is_zero()) {
+    for (RackId r : order) {
+      if (remaining == 0) break;
+      const auto free = state.free_nodes[static_cast<std::size_t>(r)];
+      const std::int32_t take = std::min(free, remaining);
+      if (take > 0) {
+        plan.takes.push_back({r, take, Bytes{0}, Bytes{0}});
+        remaining -= take;
+      }
+    }
+    if (remaining > 0) return std::nullopt;
+    return plan;
+  }
+
+  // Deficit job: nodes must be funded at d bytes each from some pool.
+  const bool rack_ok = policy.routing != PoolRouting::kGlobalOnly;
+  const bool global_ok = policy.routing != PoolRouting::kRackOnly;
+  std::int64_t global_node_budget =
+      global_ok ? state.global_free.count() / d.count() : 0;
+
+  for (RackId r : order) {
+    if (remaining == 0) break;
+    const auto idx = static_cast<std::size_t>(r);
+    std::int32_t free = state.free_nodes[idx];
+    if (free == 0) continue;
+    RackTake take{r, 0, Bytes{0}, Bytes{0}};
+    if (rack_ok) {
+      const auto pool_capacity_nodes = static_cast<std::int32_t>(std::min<std::int64_t>(
+          state.pool_free[idx].count() / d.count(), free));
+      const std::int32_t via_rack =
+          std::min(pool_capacity_nodes, remaining);
+      if (via_rack > 0) {
+        take.nodes += via_rack;
+        take.rack_pool_bytes = d * via_rack;
+        free -= via_rack;
+        remaining -= via_rack;
+      }
+    }
+    if (remaining > 0 && global_node_budget > 0 && free > 0) {
+      const auto via_global = static_cast<std::int32_t>(std::min<std::int64_t>(
+          {static_cast<std::int64_t>(free), global_node_budget,
+           static_cast<std::int64_t>(remaining)}));
+      take.nodes += via_global;
+      take.global_pool_bytes = d * via_global;
+      global_node_budget -= via_global;
+      remaining -= via_global;
+    }
+    if (take.nodes > 0) plan.takes.push_back(take);
+  }
+  if (remaining > 0) return std::nullopt;
+  return plan;
+}
+
+bool can_apply(const ResourceState& state, const TakePlan& plan) {
+  for (const auto& t : plan.takes) {
+    const auto idx = static_cast<std::size_t>(t.rack);
+    if (idx >= state.free_nodes.size()) return false;
+    if (state.free_nodes[idx] < t.nodes) return false;
+    if (state.pool_free[idx] < t.rack_pool_bytes) return false;
+  }
+  return state.global_free >= plan.global_total();
+}
+
+void apply_take(ResourceState& state, const TakePlan& plan) {
+  for (const auto& t : plan.takes) {
+    const auto idx = static_cast<std::size_t>(t.rack);
+    DMSCHED_ASSERT(idx < state.free_nodes.size(), "apply_take: bad rack");
+    DMSCHED_ASSERT(state.free_nodes[idx] >= t.nodes,
+                   "apply_take: node overcommit");
+    DMSCHED_ASSERT(state.pool_free[idx] >= t.rack_pool_bytes,
+                   "apply_take: rack pool overcommit");
+    state.free_nodes[idx] -= t.nodes;
+    state.pool_free[idx] -= t.rack_pool_bytes;
+  }
+  const Bytes g = plan.global_total();
+  DMSCHED_ASSERT(state.global_free >= g, "apply_take: global pool overcommit");
+  state.global_free -= g;
+}
+
+void release_take(ResourceState& state, const TakePlan& plan) {
+  for (const auto& t : plan.takes) {
+    const auto idx = static_cast<std::size_t>(t.rack);
+    DMSCHED_ASSERT(idx < state.free_nodes.size(), "release_take: bad rack");
+    state.free_nodes[idx] += t.nodes;
+    state.pool_free[idx] += t.rack_pool_bytes;
+  }
+  state.global_free += plan.global_total();
+}
+
+bool feasible_on_empty(const ClusterConfig& config, const Job& job,
+                       PlacementPolicy policy) {
+  return compute_take(empty_state(config), config, job, policy).has_value();
+}
+
+Allocation materialize(const Cluster& cluster, const Job& job,
+                       const TakePlan& plan) {
+  Allocation alloc;
+  alloc.job = job.id;
+  alloc.local_per_node = plan.local_per_node;
+  alloc.far_per_node = plan.far_per_node;
+  Bytes global_bytes{};
+  for (const auto& t : plan.takes) {
+    auto ids = cluster.free_nodes_in_rack_lowest(t.rack, t.nodes);
+    DMSCHED_ASSERT(std::cmp_equal(ids.size(), t.nodes),
+                   "materialize: plan is stale for this cluster");
+    alloc.nodes.insert(alloc.nodes.end(), ids.begin(), ids.end());
+    if (t.rack_pool_bytes > Bytes{0}) {
+      alloc.draws.push_back({t.rack, t.rack_pool_bytes});
+    }
+    global_bytes += t.global_pool_bytes;
+  }
+  if (global_bytes > Bytes{0}) {
+    alloc.draws.push_back({kGlobalPoolRack, global_bytes});
+  }
+  return alloc;
+}
+
+std::optional<Allocation> plan_start(const Cluster& cluster, const Job& job,
+                                     PlacementPolicy policy) {
+  const auto plan =
+      compute_take(snapshot(cluster), cluster.config(), job, policy);
+  if (!plan) return std::nullopt;
+  return materialize(cluster, job, *plan);
+}
+
+}  // namespace dmsched

@@ -1,0 +1,108 @@
+// Placement: turning "job J may start" into concrete nodes and pool draws.
+//
+// One kernel (`compute_take`) answers both questions every layer asks:
+//  - the cluster-facing planner materializes it into an Allocation;
+//  - the reservation profile applies it to *future* resource states.
+// Sharing the kernel guarantees that "the profile says J fits at time T"
+// and "the planner can start J at time T" never diverge.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "workload/job.hpp"
+
+namespace dmsched {
+
+/// How nodes are chosen across racks.
+enum class NodeSelection {
+  kFirstFit,    ///< racks in index order — the memory-unaware default
+  kPackRacks,   ///< fullest-free racks first: fewest racks per job
+  kSpreadRacks, ///< emptiest racks first: balances occupancy
+  kPoolAware,   ///< deficit jobs chase pool-rich racks; local jobs avoid them
+};
+
+/// Which pools may serve a job's deficit.
+enum class PoolRouting {
+  kRackOnly,       ///< only the racks the job occupies (strict locality)
+  kRackThenGlobal, ///< rack pools first, global pool as overflow (default)
+  kGlobalOnly,     ///< everything from the global pool (topology ablation)
+};
+
+[[nodiscard]] const char* to_string(NodeSelection s);
+[[nodiscard]] const char* to_string(PoolRouting r);
+
+/// The placement configuration a scheduler runs with.
+struct PlacementPolicy {
+  NodeSelection selection = NodeSelection::kPoolAware;
+  PoolRouting routing = PoolRouting::kRackThenGlobal;
+};
+
+/// Counted (rack-granular) view of free resources — either the live
+/// cluster or a hypothetical future state inside a reservation profile.
+struct ResourceState {
+  std::vector<std::int32_t> free_nodes;  ///< per rack
+  std::vector<Bytes> pool_free;          ///< per rack
+  Bytes global_free{};
+
+  [[nodiscard]] std::int32_t total_free_nodes() const;
+};
+
+/// Current cluster state as a ResourceState.
+[[nodiscard]] ResourceState snapshot(const Cluster& cluster);
+/// An idle machine of the given shape.
+[[nodiscard]] ResourceState empty_state(const ClusterConfig& config);
+
+/// Per-rack slice of a planned start.
+struct RackTake {
+  RackId rack = 0;
+  std::int32_t nodes = 0;        ///< nodes taken in this rack
+  Bytes rack_pool_bytes{};       ///< drawn from this rack's pool
+  Bytes global_pool_bytes{};     ///< drawn from the global pool for these nodes
+};
+
+/// A start decision in counted form (no node ids yet).
+struct TakePlan {
+  Bytes local_per_node{};
+  Bytes far_per_node{};
+  std::vector<RackTake> takes;
+
+  [[nodiscard]] Bytes global_total() const;
+  [[nodiscard]] Bytes rack_pool_total() const;
+  [[nodiscard]] std::int32_t node_total() const;
+};
+
+/// Plan a start of `job` against `state`. Returns nullopt when the job
+/// cannot start (insufficient nodes or pool capacity under `policy`).
+[[nodiscard]] std::optional<TakePlan> compute_take(const ResourceState& state,
+                                                   const ClusterConfig& config,
+                                                   const Job& job,
+                                                   PlacementPolicy policy);
+
+/// True when `plan` could be subtracted from `state` without going
+/// negative (non-mutating feasibility probe for interval fitting).
+[[nodiscard]] bool can_apply(const ResourceState& state, const TakePlan& plan);
+
+/// Subtract a plan's resources from `state` (must fit; asserts otherwise).
+void apply_take(ResourceState& state, const TakePlan& plan);
+/// Return a plan's resources to `state`.
+void release_take(ResourceState& state, const TakePlan& plan);
+
+/// True when `job` could start on an *empty* machine of this shape — the
+/// admission check ("runnable at all").
+[[nodiscard]] bool feasible_on_empty(const ClusterConfig& config,
+                                     const Job& job, PlacementPolicy policy);
+
+/// Materialize a counted plan into concrete node ids on the live cluster.
+/// The plan must have been computed against `snapshot(cluster)`.
+[[nodiscard]] Allocation materialize(const Cluster& cluster, const Job& job,
+                                     const TakePlan& plan);
+
+/// One-call convenience: plan and materialize a start for `job` now.
+[[nodiscard]] std::optional<Allocation> plan_start(const Cluster& cluster,
+                                                   const Job& job,
+                                                   PlacementPolicy policy);
+
+}  // namespace dmsched

@@ -1,0 +1,63 @@
+#include "memory/slowdown.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace dmsched {
+
+double SlowdownModel::sensitivity_multiplier(MemSensitivity s) const {
+  switch (s) {
+    case MemSensitivity::kComputeBound: return sens_compute;
+    case MemSensitivity::kBalanced: return sens_balanced;
+    case MemSensitivity::kBandwidthBound: return sens_bandwidth;
+  }
+  DMSCHED_UNREACHABLE("bad sensitivity class");
+}
+
+double SlowdownModel::dilation(double phi_rack, double phi_global,
+                               MemSensitivity s) const {
+  DMSCHED_ASSERT(phi_rack >= 0.0 && phi_global >= 0.0 &&
+                     phi_rack + phi_global <= 1.0 + 1e-9,
+                 "dilation: far fractions outside [0,1]");
+  const double mult = sensitivity_multiplier(s);
+  double penalty = 0.0;
+  switch (kind) {
+    case Kind::kLinear:
+      penalty = beta_rack * phi_rack + beta_global * phi_global;
+      break;
+    case Kind::kSaturating:
+      penalty = beta_rack * std::pow(phi_rack, gamma) +
+                beta_global * std::pow(phi_global, gamma);
+      break;
+  }
+  return 1.0 + mult * penalty;
+}
+
+double SlowdownModel::dilation_for(const Allocation& alloc,
+                                   const Job& job) const {
+  const Bytes total = alloc.mem_total();
+  if (total.is_zero()) return 1.0;
+  const double phi_rack = ratio(alloc.rack_draw_total(), total);
+  const double phi_global = ratio(alloc.global_draw_total(), total);
+  return dilation(phi_rack, phi_global, job.sensitivity);
+}
+
+double SlowdownModel::dilation_bytes(Bytes rack_bytes, Bytes global_bytes,
+                                     Bytes total, MemSensitivity s) const {
+  if (total.is_zero()) return 1.0;
+  return dilation(ratio(rack_bytes, total), ratio(global_bytes, total), s);
+}
+
+double SlowdownModel::worst_case_dilation(const Job& job,
+                                          Bytes local_per_node) const {
+  if (job.mem_per_node <= local_per_node) return 1.0;
+  const double phi =
+      ratio(job.mem_per_node - local_per_node, job.mem_per_node);
+  // Both betas evaluated; the worse one bounds any mixed allocation.
+  const double via_global = dilation(0.0, phi, job.sensitivity);
+  const double via_rack = dilation(phi, 0.0, job.sensitivity);
+  return via_global > via_rack ? via_global : via_rack;
+}
+
+}  // namespace dmsched

@@ -1,0 +1,58 @@
+// Far-memory performance model.
+//
+// Hardware substitution (DESIGN.md): instead of simulating a CXL fabric we
+// model its effect — a job whose footprint is partly served from a pool runs
+// longer by an analytic dilation factor. Rack pools (one switch hop) carry a
+// lower coefficient than the global pool (multi-hop). Application classes
+// scale the penalty: streaming codes feel far memory, compute-bound codes
+// barely notice.
+#pragma once
+
+#include "cluster/allocation.hpp"
+#include "workload/job.hpp"
+
+namespace dmsched {
+
+/// Runtime dilation as a function of the far-memory fraction.
+struct SlowdownModel {
+  enum class Kind {
+    kLinear,      ///< 1 + β·φ — first-order model, default
+    kSaturating,  ///< 1 + β·φ^γ, γ<1 — penalty front-loaded, then flattens
+  };
+  Kind kind = Kind::kLinear;
+  /// Coefficient for bytes served from the job's rack pools.
+  double beta_rack = 0.30;
+  /// Coefficient for bytes served from the global pool (extra hops).
+  double beta_global = 0.45;
+  /// Exponent for the saturating kind (ignored for linear).
+  double gamma = 0.7;
+  /// Sensitivity multipliers per application class.
+  double sens_compute = 0.4;
+  double sens_balanced = 1.0;
+  double sens_bandwidth = 1.6;
+
+  /// Class multiplier.
+  [[nodiscard]] double sensitivity_multiplier(MemSensitivity s) const;
+
+  /// Dilation factor (>= 1) for far fractions φ_rack and φ_global of the
+  /// job's total footprint. φ's must be in [0,1] and sum to <= 1.
+  [[nodiscard]] double dilation(double phi_rack, double phi_global,
+                                MemSensitivity s) const;
+
+  /// Dilation factor for a concrete allocation of `job`.
+  [[nodiscard]] double dilation_for(const Allocation& alloc,
+                                    const Job& job) const;
+
+  /// Dilation factor from byte totals (counted plans, before node ids are
+  /// assigned): `rack_bytes`/`global_bytes` far bytes out of `total`.
+  [[nodiscard]] double dilation_bytes(Bytes rack_bytes, Bytes global_bytes,
+                                      Bytes total, MemSensitivity s) const;
+
+  /// Upper bound on the dilation any allocation of `job` can incur (all far
+  /// bytes through the global pool). Schedulers use it for conservative
+  /// walltime planning.
+  [[nodiscard]] double worst_case_dilation(const Job& job,
+                                           Bytes local_per_node) const;
+};
+
+}  // namespace dmsched

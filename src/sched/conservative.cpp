@@ -1,0 +1,59 @@
+#include "sched/conservative.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "sched/profile.hpp"
+
+namespace dmsched {
+
+ConservativeScheduler::ConservativeScheduler(std::size_t window)
+    : window_(window) {
+  DMSCHED_ASSERT(window_ > 0, "conservative: zero window");
+}
+
+void ConservativeScheduler::schedule(SchedContext& ctx) {
+  const auto queue = ctx.queued_jobs();
+  if (queue.empty()) return;
+
+  FreeProfile profile = FreeProfile::from_context(ctx);
+  const SimTime now = ctx.now();
+
+  std::size_t reserved = 0;
+  for (JobId id : queue) {
+    if (reserved >= window_) break;
+    ++reserved;
+    const Job& job = ctx.job(id);
+    const auto walltime_bound = [&](const TakePlan& plan) {
+      const double dilation = ctx.slowdown().dilation_bytes(
+          plan.rack_pool_total(), plan.global_total(), job.total_mem(),
+          job.sensitivity);
+      return job.walltime.scaled(dilation);
+    };
+    // Window fitting: the reservation must be feasible for the job's whole
+    // (dilated) walltime against every earlier reservation, not just at its
+    // start instant — that is what makes this scheduler conservative.
+    const auto fit =
+        profile.earliest_fit_window(job, ctx.placement(), walltime_bound);
+    // Admitted jobs always fit once everything drains (final profile state
+    // has every hold expired and every running job released).
+    DMSCHED_ASSERT(fit.has_value(),
+                   "conservative: admitted job has no reservation");
+    const SimTime end_bound = fit->time + walltime_bound(fit->plan);
+
+    if (fit->time <= now) {
+      auto alloc = plan_start(ctx.cluster(), job, ctx.placement());
+      DMSCHED_ASSERT(alloc.has_value(),
+                     "conservative: profile said 'fits now' but the planner "
+                     "disagrees");
+      ctx.start_job(id, *alloc);
+      // Resources leave the free pool immediately: rebuild the base by
+      // holding them until the job's bound.
+      profile.add_hold(now, end_bound, fit->plan);
+    } else {
+      profile.add_hold(fit->time, end_bound, fit->plan);
+    }
+  }
+}
+
+}  // namespace dmsched

@@ -1,0 +1,28 @@
+// Conservative backfilling: every queued job gets a reservation.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace dmsched {
+
+/// Conservative backfilling over the full 2-D resource profile: each queued
+/// job (up to a window) receives the earliest reservation that delays no
+/// previously reserved job; jobs whose reservation is "now" start.
+///
+/// Reservations are recomputed from scratch every pass (no-compression
+/// variant with implicit compression: a completion can only move
+/// reservations earlier, and the rebuild discovers that).
+class ConservativeScheduler final : public Scheduler {
+ public:
+  /// `window` caps how many queued jobs receive reservations per pass;
+  /// beyond it the pass stops (O(window · breakpoints · racks) per pass).
+  explicit ConservativeScheduler(std::size_t window = 128);
+
+  [[nodiscard]] const char* name() const override { return "conservative"; }
+  void schedule(SchedContext& ctx) override;
+
+ private:
+  std::size_t window_;
+};
+
+}  // namespace dmsched

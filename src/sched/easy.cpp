@@ -1,0 +1,70 @@
+#include "sched/easy.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace dmsched {
+
+void EasyScheduler::schedule(SchedContext& ctx) {
+  const auto queue = ctx.queued_jobs();
+  std::size_t qi = 0;
+
+  // Phase 1: start in order while the head fits.
+  while (qi < queue.size()) {
+    auto alloc =
+        plan_start(ctx.cluster(), ctx.job(queue[qi]), ctx.placement());
+    if (!alloc) break;
+    ctx.start_job(queue[qi], *alloc);
+    ++qi;
+  }
+  if (qi >= queue.size()) return;
+
+  // Phase 2: node-only shadow time for the blocked head. Walk expected
+  // releases in time order accumulating freed nodes until the head fits.
+  const Job& head = ctx.job(queue[qi]);
+  auto running = ctx.running_jobs();
+  std::sort(running.begin(), running.end(),
+            [](const RunningJob& a, const RunningJob& b) {
+              if (a.expected_end != b.expected_end) {
+                return a.expected_end < b.expected_end;
+              }
+              return a.id < b.id;
+            });
+  std::int32_t avail = ctx.cluster().free_nodes_total();
+  SimTime shadow = kTimeInfinity;
+  std::int32_t extra = 0;
+  if (avail >= head.nodes) {
+    // Head has the nodes but not the memory: a node-only policy reserves
+    // nothing and the whole queue is fair game for backfill. This is the
+    // failure mode memory-aware scheduling fixes.
+    shadow = ctx.now();
+    extra = avail - head.nodes;
+  } else {
+    for (const RunningJob& r : running) {
+      avail += r.take.node_total();
+      if (avail >= head.nodes) {
+        shadow = r.expected_end;
+        extra = avail - head.nodes;
+        break;
+      }
+    }
+  }
+  DMSCHED_ASSERT(shadow < kTimeInfinity,
+                 "EASY: head job wider than the machine was not rejected");
+
+  // Phase 3: backfill behind the head.
+  for (std::size_t i = qi + 1; i < queue.size(); ++i) {
+    const Job& cand = ctx.job(queue[i]);
+    auto alloc = plan_start(ctx.cluster(), cand, ctx.placement());
+    if (!alloc) continue;
+    // Memory-unaware bound: the raw walltime request, no dilation.
+    const bool ends_before_shadow = ctx.now() + cand.walltime <= shadow;
+    const bool within_extra = cand.nodes <= extra;
+    if (!ends_before_shadow && !within_extra) continue;
+    ctx.start_job(queue[i], *alloc);
+    if (!ends_before_shadow) extra -= cand.nodes;
+  }
+}
+
+}  // namespace dmsched

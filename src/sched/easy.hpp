@@ -1,0 +1,24 @@
+// EASY backfilling, memory-unaware — the production baseline.
+//
+// The head job's reservation ("shadow time") is computed over *nodes only*,
+// exactly as Slurm/Cobalt do today. On a disaggregated machine this is the
+// paper's strawman: backfill decisions ignore pool capacity, so memory-heavy
+// head jobs can be delayed by backfilled jobs that drain the pools.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace dmsched {
+
+/// Classic aggressive (EASY) backfilling:
+///  1. start jobs from the head while they fit;
+///  2. give the blocked head a node-count reservation at the shadow time;
+///  3. backfill any later job that fits now and either finishes before the
+///     shadow time or uses no more than the spare ("extra") nodes.
+class EasyScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "easy"; }
+  void schedule(SchedContext& ctx) override;
+};
+
+}  // namespace dmsched

@@ -1,0 +1,13 @@
+#include "sched/fcfs.hpp"
+
+namespace dmsched {
+
+void FcfsScheduler::schedule(SchedContext& ctx) {
+  for (JobId id : ctx.queued_jobs()) {
+    auto alloc = plan_start(ctx.cluster(), ctx.job(id), ctx.placement());
+    if (!alloc) break;  // head of queue blocks everyone behind it
+    ctx.start_job(id, *alloc);
+  }
+}
+
+}  // namespace dmsched

@@ -1,0 +1,16 @@
+// First-come-first-served without backfilling: the strictest baseline.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace dmsched {
+
+/// Starts jobs strictly in queue order; stops at the first job that does
+/// not fit. Simple, fair, and the canonical low-utilization baseline.
+class FcfsScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] const char* name() const override { return "fcfs"; }
+  void schedule(SchedContext& ctx) override;
+};
+
+}  // namespace dmsched

@@ -1,0 +1,157 @@
+#include "sched/profile.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace dmsched {
+
+FreeProfile::FreeProfile(ResourceState base, SimTime now,
+                         const ClusterConfig* config)
+    : base_(std::move(base)), now_(now), config_(config) {
+  DMSCHED_ASSERT(config_ != nullptr, "FreeProfile: null config");
+}
+
+FreeProfile FreeProfile::from_context(const SchedContext& ctx) {
+  FreeProfile profile(snapshot(ctx.cluster()), ctx.now(),
+                      &ctx.cluster().config());
+  for (const RunningJob& r : ctx.running_jobs()) {
+    profile.add_release(r.expected_end, r.take);
+  }
+  return profile;
+}
+
+void FreeProfile::add_release(SimTime time, const TakePlan& take) {
+  // A release whose expected time already passed (dilated job overrunning
+  // its walltime bound) is treated as "any moment now".
+  deltas_.push_back({max(time, now_), take, /*adds=*/true});
+}
+
+void FreeProfile::add_hold(SimTime start, SimTime end, const TakePlan& take) {
+  DMSCHED_ASSERT(start >= now_, "add_hold: hold starts in the past");
+  DMSCHED_ASSERT(end > start, "add_hold: empty hold");
+  deltas_.push_back({start, take, /*adds=*/false});
+  deltas_.push_back({end, take, /*adds=*/true});
+}
+
+void FreeProfile::rollback(Mark m) {
+  DMSCHED_ASSERT(m <= deltas_.size(), "rollback: mark from the future");
+  deltas_.resize(m);
+}
+
+void FreeProfile::apply_signed(ResourceState& state, const TakePlan& take,
+                               bool adds) {
+  if (adds) {
+    release_take(state, take);
+  } else {
+    apply_take(state, take);
+  }
+}
+
+ResourceState FreeProfile::state_at(SimTime time) const {
+  DMSCHED_ASSERT(time >= now_, "state_at: time in the past");
+  ResourceState state = base_;
+  // Apply additions before subtractions at equal timestamps so a hold that
+  // begins exactly when a release lands is satisfiable.
+  std::vector<const Delta*> applicable;
+  for (const auto& d : deltas_) {
+    if (d.time <= time) applicable.push_back(&d);
+  }
+  std::stable_sort(applicable.begin(), applicable.end(),
+                   [](const Delta* a, const Delta* b) {
+                     if (a->time != b->time) return a->time < b->time;
+                     return a->adds && !b->adds;
+                   });
+  for (const Delta* d : applicable) apply_signed(state, d->take, d->adds);
+  return state;
+}
+
+std::vector<SimTime> FreeProfile::breakpoints() const {
+  std::vector<SimTime> times;
+  times.push_back(now_);
+  for (const auto& d : deltas_) {
+    if (d.time >= now_) times.push_back(d.time);
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
+}
+
+std::optional<FreeProfile::Fit> FreeProfile::earliest_fit_window(
+    const Job& job, PlacementPolicy policy,
+    const std::function<SimTime(const TakePlan&)>& duration_of) const {
+  // Precompute the state at every breakpoint (including now). Memory is
+  // O(breakpoints × racks), which is small; it lets the window check below
+  // probe arbitrary future instants cheaply.
+  std::vector<const Delta*> ordered;
+  ordered.reserve(deltas_.size());
+  for (const auto& d : deltas_) ordered.push_back(&d);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Delta* a, const Delta* b) {
+                     if (a->time != b->time) return a->time < b->time;
+                     return a->adds && !b->adds;
+                   });
+
+  std::vector<SimTime> times;
+  std::vector<ResourceState> states;
+  ResourceState state = base_;
+  std::size_t i = 0;
+  SimTime t = now_;
+  for (;;) {
+    while (i < ordered.size() && ordered[i]->time <= t) {
+      apply_signed(state, ordered[i]->take, ordered[i]->adds);
+      ++i;
+    }
+    times.push_back(t);
+    states.push_back(state);
+    if (i >= ordered.size()) break;
+    t = ordered[i]->time;
+  }
+
+  for (std::size_t start = 0; start < times.size(); ++start) {
+    auto plan = compute_take(states[start], *config_, job, policy);
+    if (!plan) continue;
+    const SimTime end = times[start] + duration_of(*plan);
+    bool continuous = true;
+    for (std::size_t k = start + 1; k < times.size() && times[k] < end; ++k) {
+      if (!can_apply(states[k], *plan)) {
+        continuous = false;
+        break;
+      }
+    }
+    if (continuous) return Fit{times[start], std::move(*plan)};
+  }
+  return std::nullopt;
+}
+
+std::optional<FreeProfile::Fit> FreeProfile::earliest_fit(
+    const Job& job, PlacementPolicy policy) const {
+  // Sweep the breakpoints in order, maintaining the state incrementally.
+  // Holds make availability non-monotone, so every breakpoint is tested.
+  std::vector<const Delta*> ordered;
+  ordered.reserve(deltas_.size());
+  for (const auto& d : deltas_) ordered.push_back(&d);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Delta* a, const Delta* b) {
+                     if (a->time != b->time) return a->time < b->time;
+                     return a->adds && !b->adds;
+                   });
+
+  ResourceState state = base_;
+  std::size_t i = 0;
+  SimTime t = now_;
+  for (;;) {
+    // Apply every delta effective at or before t.
+    while (i < ordered.size() && ordered[i]->time <= t) {
+      apply_signed(state, ordered[i]->take, ordered[i]->adds);
+      ++i;
+    }
+    if (auto plan = compute_take(state, *config_, job, policy)) {
+      return Fit{t, std::move(*plan)};
+    }
+    if (i >= ordered.size()) return std::nullopt;  // final state tested
+    t = ordered[i]->time;
+  }
+}
+
+}  // namespace dmsched

@@ -1,0 +1,98 @@
+// FreeProfile: projected free resources over time.
+//
+// Built from the current cluster state plus the expected release times of
+// running jobs, optionally extended with *holds* (tentative backfills,
+// conservative reservations). Schedulers query it for the earliest time a
+// job fits — in BOTH dimensions, nodes and pool bytes — which is what makes
+// backfilling disaggregation-aware.
+//
+// Resources are counted (rack-granular) states; feasibility at a breakpoint
+// reuses the placement kernel, so the profile can never disagree with the
+// planner about whether a job fits.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "memory/placement.hpp"
+#include "sched/scheduler.hpp"
+
+namespace dmsched {
+
+/// Piecewise-constant view of future free resources.
+class FreeProfile {
+ public:
+  /// `base` is the free state at `now` (normally `snapshot(cluster)`).
+  FreeProfile(ResourceState base, SimTime now, const ClusterConfig* config);
+
+  /// Convenience: base state and releases of all running jobs.
+  static FreeProfile from_context(const SchedContext& ctx);
+
+  /// Resources return to the pool at `time` (a running job's expected end).
+  void add_release(SimTime time, const TakePlan& take);
+
+  /// Resources are held from `start` to `end` (reservation / tentative
+  /// backfill). `start` may equal now() for jobs being started in this pass.
+  void add_hold(SimTime start, SimTime end, const TakePlan& take);
+
+  /// Free state as of `time` (>= now): base plus all releases/holds with
+  /// effect time <= `time`.
+  [[nodiscard]] ResourceState state_at(SimTime time) const;
+
+  /// Earliest time >= now at which `job` fits *instantaneously*, with the
+  /// plan it would get. Returns nullopt only if the job does not even fit
+  /// with every tracked release applied.
+  ///
+  /// Correct for profiles whose deltas after now() only add resources
+  /// (releases, plus holds that start at now) — then an instantaneous fit
+  /// persists for the job's whole run. With future-start holds present
+  /// (conservative reservations), use earliest_fit_window instead.
+  struct Fit {
+    SimTime time;
+    TakePlan plan;
+  };
+  [[nodiscard]] std::optional<Fit> earliest_fit(const Job& job,
+                                                PlacementPolicy policy) const;
+
+  /// Earliest time t >= now at which `job` fits *continuously* over
+  /// [t, t + duration_of(plan)): the plan chosen at t must remain
+  /// subtractable at every later breakpoint inside the window. This is the
+  /// reservation primitive for conservative backfilling, where future holds
+  /// make availability non-monotone. `duration_of` maps the plan chosen at
+  /// the candidate start to the job's walltime bound (dilation depends on
+  /// where the memory comes from).
+  [[nodiscard]] std::optional<Fit> earliest_fit_window(
+      const Job& job, PlacementPolicy policy,
+      const std::function<SimTime(const TakePlan&)>& duration_of) const;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Checkpoint for tentative holds: everything added after `mark()` can be
+  /// dropped with `rollback(mark)`. Backfill uses this to test "what if I
+  /// start candidate C now" without copying the profile.
+  using Mark = std::size_t;
+  [[nodiscard]] Mark mark() const { return deltas_.size(); }
+  void rollback(Mark m);
+
+  /// All change points (now plus every release/hold boundary), sorted and
+  /// deduplicated. Exposed for tests and for schedulers that sweep manually.
+  [[nodiscard]] std::vector<SimTime> breakpoints() const;
+
+ private:
+  struct Delta {
+    SimTime time;
+    TakePlan take;
+    bool adds;  ///< true: resources become free; false: resources are taken
+  };
+
+  ResourceState base_;
+  SimTime now_;
+  const ClusterConfig* config_;
+  std::vector<Delta> deltas_;
+
+  static void apply_signed(ResourceState& state, const TakePlan& take,
+                           bool adds);
+};
+
+}  // namespace dmsched

@@ -1,0 +1,60 @@
+// The scheduler interface every policy implements.
+//
+// A scheduler is a pure decision procedure: given the queue, the running
+// set, and the machine, it starts zero or more queued jobs by calling
+// `start_job`. All bookkeeping (events, metrics, ledgers) lives in the
+// simulation engine behind SchedContext, so policies stay small and testable
+// against hand-built scenarios.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "memory/placement.hpp"
+#include "memory/slowdown.hpp"
+#include "workload/job.hpp"
+
+namespace dmsched {
+
+/// Planning view of a running job.
+struct RunningJob {
+  JobId id = kInvalidJobId;
+  /// Upper bound on when it releases resources: start + walltime × the
+  /// dilation of its actual allocation. (Jobs usually finish earlier —
+  /// walltimes are overestimates — which backfilling exploits implicitly.)
+  SimTime expected_end{};
+  /// Counted resources it holds (for reservation profiles).
+  TakePlan take;
+};
+
+/// What the engine exposes to a scheduling pass.
+class SchedContext {
+ public:
+  virtual ~SchedContext() = default;
+
+  [[nodiscard]] virtual SimTime now() const = 0;
+  [[nodiscard]] virtual const Cluster& cluster() const = 0;
+  [[nodiscard]] virtual const Job& job(JobId id) const = 0;
+  /// Waiting jobs, head first, in queue-policy order.
+  [[nodiscard]] virtual std::vector<JobId> queued_jobs() const = 0;
+  /// Running jobs with planning bounds (unordered).
+  [[nodiscard]] virtual std::vector<RunningJob> running_jobs() const = 0;
+  [[nodiscard]] virtual PlacementPolicy placement() const = 0;
+  [[nodiscard]] virtual const SlowdownModel& slowdown() const = 0;
+
+  /// Commit `alloc` for `job`, schedule its completion, remove it from the
+  /// queue. The allocation must have been planned against the current
+  /// cluster state (plan_start / materialize).
+  virtual void start_job(JobId job, const Allocation& alloc) = 0;
+};
+
+/// A scheduling policy. `schedule` is invoked by the engine after every
+/// state change (submission or completion).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  virtual void schedule(SchedContext& ctx) = 0;
+};
+
+}  // namespace dmsched

@@ -1,0 +1,46 @@
+#include "sim/engine.hpp"
+
+#include "common/assert.hpp"
+
+namespace dmsched::sim {
+
+EventId Engine::schedule_at(SimTime at, EventClass cls, EventFn fn) {
+  DMSCHED_ASSERT(at >= now_, "schedule_at(): time travel into the past");
+  return queue_.push(at, cls, std::move(fn));
+}
+
+EventId Engine::schedule_in(SimTime delay, EventClass cls, EventFn fn) {
+  DMSCHED_ASSERT(delay >= SimTime{0}, "schedule_in(): negative delay");
+  return queue_.push(now_ + delay, cls, std::move(fn));
+}
+
+bool Engine::cancel(EventId id) { return queue_.cancel(id); }
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  DMSCHED_ASSERT(fired.time >= now_, "event queue returned past event");
+  now_ = fired.time;
+  ++processed_;
+  fired.fn(now_);
+  return true;
+}
+
+std::size_t Engine::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Engine::run_until(SimTime until) {
+  DMSCHED_ASSERT(until >= now_, "run_until(): horizon in the past");
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    step();
+    ++n;
+  }
+  now_ = until;
+  return n;
+}
+
+}  // namespace dmsched::sim

@@ -1,0 +1,53 @@
+// The discrete-event simulation engine.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/event_queue.hpp"
+
+namespace dmsched::sim {
+
+/// Single-threaded DES engine: a clock plus an event loop.
+///
+/// Determinism contract: with identical schedule() calls, run() fires events
+/// in an identical order (see EventQueue). Handlers may schedule/cancel
+/// events freely, including at the current timestamp (same-time events fire
+/// in EventClass-then-insertion order).
+class Engine {
+ public:
+  /// Current simulation time (time of the event being processed, or the
+  /// last processed event after run() returns).
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (must be >= now()).
+  EventId schedule_at(SimTime at, EventClass cls, EventFn fn);
+
+  /// Schedule `fn` after `delay` (must be >= 0).
+  EventId schedule_in(SimTime delay, EventClass cls, EventFn fn);
+
+  /// Cancel a pending event; false if it already fired/was cancelled.
+  bool cancel(EventId id);
+
+  /// Process events until the queue drains. Returns events processed.
+  std::size_t run();
+
+  /// Process events with time <= `until` (inclusive). Advances now() to
+  /// `until` even if the queue drains earlier. Returns events processed.
+  std::size_t run_until(SimTime until);
+
+  /// Process exactly one event if any is pending; returns whether one fired.
+  bool step();
+
+  /// Total events processed over the engine's lifetime.
+  [[nodiscard]] std::size_t events_processed() const { return processed_; }
+
+  /// Live events still pending.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_{};
+  std::size_t processed_ = 0;
+};
+
+}  // namespace dmsched::sim

@@ -1,0 +1,30 @@
+// Event record types for the discrete-event engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/time.hpp"
+
+namespace dmsched::sim {
+
+/// Identifies a scheduled event; used for cancellation.
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+/// Tie-break class for events that share a timestamp. Lower runs first.
+///
+/// The order encodes batch-scheduler semantics: releases happen before
+/// arrivals so a completion at time T frees resources for a job submitted at
+/// T; scheduling passes run after all state changes at T are applied.
+enum class EventClass : std::int8_t {
+  kCompletion = 0,  ///< job finished / killed — releases resources
+  kSubmission = 1,  ///< job arrives in the queue
+  kTimer = 2,       ///< metric sampling, periodic hooks
+  kSchedule = 3,    ///< scheduling pass
+};
+
+/// Callback invoked when the event fires; receives the firing time.
+using EventFn = std::function<void(SimTime)>;
+
+}  // namespace dmsched::sim

@@ -1,0 +1,67 @@
+// Pending-event set: a binary heap with a stable total order and lazy
+// cancellation.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event.hpp"
+
+namespace dmsched::sim {
+
+/// Min-heap of events ordered by (time, class, sequence number).
+///
+/// The sequence number makes the order total and insertion-stable, which is
+/// what makes whole simulations bit-reproducible. Cancellation is lazy: a
+/// cancelled id is skipped at pop time (cancellations are rare — only
+/// walltime kills use them — so tombstones stay cheap).
+class EventQueue {
+ public:
+  /// Insert an event; returns its id (never kInvalidEventId).
+  EventId push(SimTime time, EventClass cls, EventFn fn);
+
+  /// Cancel a pending event. Returns false if it already fired or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  /// True when no live events remain.
+  [[nodiscard]] bool empty() const;
+
+  /// Time of the earliest live event; kTimeInfinity when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pop the earliest live event. Requires !empty().
+  struct Fired {
+    EventId id;
+    SimTime time;
+    EventClass cls;
+    EventFn fn;
+  };
+  Fired pop();
+
+  /// Number of live (non-cancelled) events.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventClass cls;
+    std::uint64_t seq;
+    EventId id;
+    EventFn fn;
+  };
+  /// Heap ordering: *later* entries compare true so std::push_heap builds a
+  /// min-heap on (time, class, seq).
+  static bool later(const Entry& a, const Entry& b);
+
+  void drop_cancelled_front();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace dmsched::sim

@@ -1,0 +1,50 @@
+// Named workload models: the three archetypal centers the evaluation uses.
+//
+// Each model is a fully-specified SyntheticSpec tuned so its generated
+// traces match the published summary statistics of the corresponding class
+// of production systems (see DESIGN.md §Substitutions). The evaluation
+// always refers to workloads by these names.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/synthetic.hpp"
+
+namespace dmsched {
+
+/// The evaluation's workload archetypes.
+enum class WorkloadModel {
+  /// Leadership/capability center: wide jobs, long runtimes, mostly
+  /// compute-bound, modest memory pressure (think ALCF/OLCF-class).
+  kCapability,
+  /// Capacity/analytics center: many narrow jobs, short runtimes, heavy
+  /// per-node memory footprints (genomics/data-analysis mix).
+  kCapacity,
+  /// Mid-size university center: broad mix of both populations.
+  kMixed,
+};
+
+/// All models, in evaluation order.
+[[nodiscard]] std::vector<WorkloadModel> all_workload_models();
+
+/// Stable display name ("capability", "capacity", "mixed").
+[[nodiscard]] const char* to_string(WorkloadModel m);
+
+/// Parse a model name; aborts on unknown names (CLI validates earlier).
+[[nodiscard]] WorkloadModel workload_model_from_string(const std::string& s);
+
+/// The tuned spec for a model, scaled to a machine with `max_nodes` nodes
+/// and `reference_node_mem` of local memory per node.
+[[nodiscard]] SyntheticSpec model_spec(WorkloadModel m, std::int32_t max_nodes,
+                                       Bytes reference_node_mem);
+
+/// Convenience: generate `jobs` jobs of model `m` at `target_load` against a
+/// `machine_nodes`-node machine. Deterministic in all arguments.
+[[nodiscard]] Trace make_model_trace(WorkloadModel m, std::size_t jobs,
+                                     std::uint64_t seed,
+                                     std::int32_t machine_nodes,
+                                     Bytes reference_node_mem,
+                                     double target_load);
+
+}  // namespace dmsched

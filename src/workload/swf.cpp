@@ -1,0 +1,146 @@
+#include "workload/swf.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/assert.hpp"
+#include "common/str.hpp"
+
+namespace dmsched {
+namespace {
+
+// SWF field indices (0-based) per the PWA v2.2 definition.
+constexpr std::size_t kFieldSubmit = 1;
+constexpr std::size_t kFieldRuntime = 3;
+constexpr std::size_t kFieldAllocProcs = 4;
+constexpr std::size_t kFieldUsedMemKb = 6;
+constexpr std::size_t kFieldReqProcs = 7;
+constexpr std::size_t kFieldReqTime = 8;
+constexpr std::size_t kFieldReqMemKb = 9;
+constexpr std::size_t kFieldStatus = 10;
+constexpr std::size_t kFieldUser = 11;
+constexpr std::size_t kFieldCount = 18;
+
+}  // namespace
+
+SwfResult read_swf(std::istream& in, const SwfOptions& options,
+                   std::string trace_name) {
+  DMSCHED_ASSERT(options.procs_per_node > 0, "SwfOptions: procs_per_node");
+  SwfResult result;
+  std::vector<Job> jobs;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++result.lines_total;
+    const std::string_view stripped = trim(line);
+    if (stripped.empty() || stripped.front() == ';') continue;
+
+    const auto fields = split_ws(stripped);
+    if (fields.size() < kFieldCount) {
+      ++result.lines_malformed;
+      continue;
+    }
+    std::int64_t raw[kFieldCount];
+    bool parse_ok = true;
+    for (std::size_t i = 0; i < kFieldCount; ++i) {
+      double v{};  // archive traces occasionally use decimals (avg CPU time)
+      if (!parse_double(fields[i], v)) {
+        parse_ok = false;
+        break;
+      }
+      raw[i] = static_cast<std::int64_t>(std::llround(v));
+    }
+    if (!parse_ok) {
+      ++result.lines_malformed;
+      continue;
+    }
+
+    if (options.completed_only && raw[kFieldStatus] != 1 &&
+        raw[kFieldStatus] != -1) {
+      ++result.jobs_skipped;
+      continue;
+    }
+    const std::int64_t runtime_sec = raw[kFieldRuntime];
+    std::int64_t procs = raw[kFieldReqProcs] > 0 ? raw[kFieldReqProcs]
+                                                 : raw[kFieldAllocProcs];
+    if (runtime_sec <= 0 || procs <= 0 || raw[kFieldSubmit] < 0) {
+      ++result.jobs_skipped;
+      continue;
+    }
+
+    Job j;
+    j.submit = seconds(raw[kFieldSubmit]);
+    j.nodes = static_cast<std::int32_t>(
+        (procs + options.procs_per_node - 1) / options.procs_per_node);
+    j.runtime = seconds(runtime_sec);
+    if (raw[kFieldReqTime] > 0) {
+      j.walltime = seconds(raw[kFieldReqTime]);
+    } else {
+      j.walltime = seconds(static_cast<double>(runtime_sec) *
+                           options.walltime_fallback_factor);
+    }
+    // Archive traces contain overruns (runtime > request) when sites had lax
+    // enforcement; DMSched requires runtime <= walltime, so clamp upward.
+    j.walltime = max(j.walltime, j.runtime);
+
+    const std::int64_t mem_kb = raw[kFieldReqMemKb] > 0 ? raw[kFieldReqMemKb]
+                                                        : raw[kFieldUsedMemKb];
+    if (mem_kb > 0) {
+      j.mem_per_node =
+          Bytes{mem_kb * 1024} * options.procs_per_node;
+    } else {
+      j.mem_per_node = options.default_mem_per_node;
+    }
+    j.user = raw[kFieldUser] > 0 ? static_cast<std::int32_t>(raw[kFieldUser])
+                                 : 0;
+    j.sensitivity = MemSensitivity::kBalanced;
+    jobs.push_back(j);
+    ++result.jobs_accepted;
+  }
+  if (in.bad()) {
+    result.error = "I/O error while reading SWF stream";
+    return result;
+  }
+  result.trace = Trace::make(std::move(jobs), std::move(trace_name)).rebased();
+  return result;
+}
+
+SwfResult read_swf_file(const std::string& path, const SwfOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    SwfResult r;
+    r.error = "cannot open SWF file: " + path;
+    return r;
+  }
+  // Trace name = file basename.
+  auto slash = path.find_last_of('/');
+  std::string name =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  return read_swf(in, options, std::move(name));
+}
+
+void write_swf(std::ostream& out, const Trace& trace,
+               const SwfOptions& options) {
+  out << "; SWF export from DMSched\n";
+  out << "; MaxProcs unknown; memory written as KB per processor\n";
+  for (const Job& j : trace.jobs()) {
+    const std::int64_t procs =
+        static_cast<std::int64_t>(j.nodes) * options.procs_per_node;
+    const std::int64_t mem_kb_per_proc =
+        j.mem_per_node.count() / (1024 * options.procs_per_node);
+    out << strformat(
+        "%u %lld %lld %lld %lld -1 %lld %lld %lld %lld 1 %d -1 -1 -1 -1 -1 "
+        "-1\n",
+        j.id + 1, static_cast<long long>(j.submit.usec() / 1'000'000),
+        -1LL,  // wait time: scheduling output, not part of the description
+        static_cast<long long>(j.runtime.usec() / 1'000'000),
+        static_cast<long long>(procs),
+        static_cast<long long>(mem_kb_per_proc),
+        static_cast<long long>(procs),
+        static_cast<long long>(j.walltime.usec() / 1'000'000),
+        static_cast<long long>(mem_kb_per_proc), j.user);
+  }
+}
+
+}  // namespace dmsched

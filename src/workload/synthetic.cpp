@@ -1,0 +1,133 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/assert.hpp"
+
+namespace dmsched {
+namespace {
+
+/// Next arrival gap for an inhomogeneous Poisson process via thinning.
+SimTime next_arrival_gap(Rng& rng, const SyntheticSpec& spec,
+                         SimTime current) {
+  const double base_per_sec = spec.arrival_rate_per_hour / 3600.0;
+  DMSCHED_ASSERT(base_per_sec > 0.0, "arrival rate must be positive");
+  const double peak = base_per_sec * (1.0 + spec.diurnal_amplitude);
+  double t = current.seconds();
+  for (;;) {
+    t += rng.exponential(peak);
+    const double phase = 2.0 * std::numbers::pi * t / 86'400.0;
+    const double rate =
+        base_per_sec * (1.0 + spec.diurnal_amplitude * std::sin(phase));
+    if (rng.uniform() * peak <= rate) {
+      return seconds(t) - current;
+    }
+  }
+}
+
+std::int32_t sample_nodes(Rng& rng, const SyntheticSpec& spec) {
+  std::vector<double> weights;
+  weights.reserve(spec.node_buckets.size());
+  for (const auto& b : spec.node_buckets) weights.push_back(b.weight);
+  const auto& bucket = spec.node_buckets[rng.weighted_index(weights)];
+  DMSCHED_ASSERT(bucket.lo >= 1 && bucket.hi >= bucket.lo,
+                 "node bucket misconfigured");
+  // Log-uniform across the bucket: small widths are much more common.
+  const double lo = std::log(static_cast<double>(bucket.lo));
+  const double hi = std::log(static_cast<double>(bucket.hi) + 1.0);
+  auto n = static_cast<std::int32_t>(std::exp(rng.uniform(lo, hi)));
+  n = std::clamp(n, bucket.lo, bucket.hi);
+  if (n > 1 && rng.bernoulli(spec.pow2_bias)) {
+    // Snap to the nearest power of two inside the bucket.
+    const double lg = std::round(std::log2(static_cast<double>(n)));
+    auto snapped = static_cast<std::int32_t>(std::exp2(lg));
+    n = std::clamp(snapped, bucket.lo, bucket.hi);
+  }
+  return n;
+}
+
+SimTime sample_runtime(Rng& rng, const SyntheticSpec& spec) {
+  const double r = std::clamp(
+      rng.lognormal(spec.runtime_log_mean, spec.runtime_log_sigma),
+      spec.runtime_min_sec, spec.runtime_max_sec);
+  return seconds(r);
+}
+
+SimTime sample_walltime(Rng& rng, const SyntheticSpec& spec,
+                        SimTime runtime) {
+  double req;
+  if (rng.bernoulli(spec.walltime_exact_fraction)) {
+    req = runtime.seconds();
+  } else {
+    req = runtime.seconds() *
+          rng.uniform(1.0, spec.walltime_overestimate_max);
+  }
+  // Users request in round numbers.
+  const double rounded =
+      std::ceil(req / spec.walltime_rounding_sec) * spec.walltime_rounding_sec;
+  return max(seconds(rounded), runtime);
+}
+
+Bytes sample_mem_per_node(Rng& rng, const SyntheticSpec& spec) {
+  std::vector<double> weights;
+  weights.reserve(spec.mem_bands.size());
+  for (const auto& b : spec.mem_bands) weights.push_back(b.weight);
+  const auto& band = spec.mem_bands[rng.weighted_index(weights)];
+  const double frac = rng.uniform(band.lo_frac, band.hi_frac);
+  return gib(frac * spec.reference_node_mem.gib());
+}
+
+MemSensitivity sample_sensitivity(Rng& rng, const SyntheticSpec& spec) {
+  const auto idx = rng.weighted_index(spec.sensitivity_weights);
+  return static_cast<MemSensitivity>(idx);
+}
+
+std::int32_t sample_user(Rng& rng, const SyntheticSpec& spec) {
+  // Zipf-like via inverse-power transform of a uniform draw.
+  const double u = rng.uniform();
+  const double z = std::pow(u, 2.0);  // skew toward low ids
+  return static_cast<std::int32_t>(z * spec.user_count);
+}
+
+}  // namespace
+
+Trace generate_trace(const SyntheticSpec& spec, std::uint64_t seed) {
+  DMSCHED_ASSERT(spec.job_count > 0, "generate_trace: zero jobs");
+  Rng master(seed);
+  Rng arrivals = master.fork(1);
+  Rng shapes = master.fork(2);
+  Rng memory = master.fork(3);
+  Rng timing = master.fork(4);
+
+  std::vector<Job> jobs;
+  jobs.reserve(spec.job_count);
+  SimTime clock{};
+  for (std::size_t i = 0; i < spec.job_count; ++i) {
+    clock += next_arrival_gap(arrivals, spec, clock);
+    Job j;
+    j.submit = clock;
+    j.nodes = sample_nodes(shapes, spec);
+    j.runtime = sample_runtime(timing, spec);
+    j.walltime = sample_walltime(timing, spec, j.runtime);
+    j.mem_per_node = sample_mem_per_node(memory, spec);
+    j.sensitivity = sample_sensitivity(memory, spec);
+    j.user = sample_user(shapes, spec);
+    jobs.push_back(j);
+  }
+  return Trace::make(std::move(jobs), spec.name);
+}
+
+Trace generate_trace_with_load(const SyntheticSpec& spec, std::uint64_t seed,
+                               std::int64_t machine_nodes,
+                               double target_load) {
+  DMSCHED_ASSERT(target_load > 0.0, "target load must be positive");
+  const Trace raw = generate_trace(spec, seed);
+  const double load = raw.offered_load(machine_nodes);
+  if (load <= 0.0) return raw;
+  // offered_load scales inversely with the submission span.
+  return raw.scaled_arrivals(load / target_load).rebased();
+}
+
+}  // namespace dmsched

@@ -1,0 +1,83 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace dmsched {
+
+const char* to_string(MemSensitivity s) {
+  switch (s) {
+    case MemSensitivity::kComputeBound: return "compute-bound";
+    case MemSensitivity::kBalanced: return "balanced";
+    case MemSensitivity::kBandwidthBound: return "bandwidth-bound";
+  }
+  return "?";
+}
+
+Trace Trace::make(std::vector<Job> jobs, std::string name) {
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const Job& a, const Job& b) { return a.submit < b.submit; });
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = static_cast<JobId>(i);
+    DMSCHED_ASSERT(jobs[i].nodes > 0, "Trace: job with non-positive nodes");
+    DMSCHED_ASSERT(jobs[i].runtime > SimTime{0},
+                   "Trace: job with non-positive runtime");
+    DMSCHED_ASSERT(jobs[i].walltime >= jobs[i].runtime,
+                   "Trace: walltime below runtime (SWF semantics require "
+                   "runtime <= request)");
+    DMSCHED_ASSERT(jobs[i].mem_per_node >= Bytes{0},
+                   "Trace: negative memory request");
+  }
+  Trace t;
+  t.jobs_ = std::move(jobs);
+  t.name_ = std::move(name);
+  return t;
+}
+
+const Job& Trace::job(JobId id) const {
+  DMSCHED_ASSERT(id < jobs_.size(), "Trace: job id out of range");
+  return jobs_[id];
+}
+
+SimTime Trace::span() const {
+  if (jobs_.size() < 2) return SimTime{0};
+  return jobs_.back().submit - jobs_.front().submit;
+}
+
+Trace Trace::rebased() const {
+  if (jobs_.empty()) return *this;
+  const SimTime epoch = jobs_.front().submit;
+  std::vector<Job> shifted = jobs_;
+  for (auto& j : shifted) j.submit -= epoch;
+  return make(std::move(shifted), name_);
+}
+
+Trace Trace::prefix(std::size_t n) const {
+  std::vector<Job> head(jobs_.begin(),
+                        jobs_.begin() + static_cast<std::ptrdiff_t>(
+                                            std::min(n, jobs_.size())));
+  return make(std::move(head), name_);
+}
+
+Trace Trace::scaled_arrivals(double factor) const {
+  DMSCHED_ASSERT(factor > 0.0, "scaled_arrivals: factor must be positive");
+  if (jobs_.empty()) return *this;
+  const SimTime epoch = jobs_.front().submit;
+  std::vector<Job> scaled = jobs_;
+  for (auto& j : scaled) {
+    j.submit = epoch + (j.submit - epoch).scaled(factor);
+  }
+  return make(std::move(scaled), name_);
+}
+
+double Trace::offered_load(std::int64_t total_nodes) const {
+  DMSCHED_ASSERT(total_nodes > 0, "offered_load: machine has no nodes");
+  const double span_sec = span().seconds();
+  if (span_sec <= 0.0) return 0.0;
+  double node_seconds = 0.0;
+  for (const auto& j : jobs_) node_seconds += j.used_node_seconds();
+  return node_seconds / (static_cast<double>(total_nodes) * span_sec);
+}
+
+}  // namespace dmsched

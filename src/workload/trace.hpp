@@ -1,0 +1,48 @@
+// A workload trace: jobs ordered by submission time, plus transformations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace dmsched {
+
+/// An ordered collection of jobs (nondecreasing submit times, ids equal to
+/// their index). Construct via `make` so both invariants are enforced.
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Sorts by submit time (stable) and reassigns ids to match indices.
+  static Trace make(std::vector<Job> jobs, std::string name);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+  [[nodiscard]] bool empty() const { return jobs_.empty(); }
+  [[nodiscard]] const Job& job(JobId id) const;
+  [[nodiscard]] const std::vector<Job>& jobs() const { return jobs_; }
+
+  /// Submission span: last submit − first submit (0 for <2 jobs).
+  [[nodiscard]] SimTime span() const;
+
+  /// A copy with submit times shifted so the first job submits at t=0.
+  [[nodiscard]] Trace rebased() const;
+
+  /// A copy containing only the first `n` jobs (by submission order).
+  [[nodiscard]] Trace prefix(std::size_t n) const;
+
+  /// A copy with all inter-arrival gaps scaled by `factor` (<1 compresses,
+  /// i.e. raises load). Runtimes are untouched.
+  [[nodiscard]] Trace scaled_arrivals(double factor) const;
+
+  /// Offered load against a machine of `total_nodes`:
+  /// Σ(nodes·runtime) / (total_nodes · span). >1 means oversubscribed.
+  [[nodiscard]] double offered_load(std::int64_t total_nodes) const;
+
+ private:
+  std::vector<Job> jobs_;
+  std::string name_;
+};
+
+}  // namespace dmsched

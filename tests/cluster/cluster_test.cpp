@@ -1,0 +1,181 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.hpp"
+
+namespace dmsched {
+namespace {
+
+using testing::tiny_cluster;
+
+Allocation alloc_of(JobId id, std::vector<NodeId> nodes, Bytes local,
+                    Bytes far = Bytes{0}, std::vector<PoolDraw> draws = {}) {
+  Allocation a;
+  a.job = id;
+  a.nodes = std::move(nodes);
+  a.local_per_node = local;
+  a.far_per_node = far;
+  a.draws = std::move(draws);
+  return a;
+}
+
+TEST(Cluster, StartsAllFree) {
+  Cluster c(tiny_cluster());
+  EXPECT_EQ(c.free_nodes_total(), 16);
+  EXPECT_EQ(c.busy_nodes(), 0);
+  for (RackId r = 0; r < 4; ++r) EXPECT_EQ(c.free_nodes_in_rack(r), 4);
+  EXPECT_EQ(c.occupant(0), kInvalidJobId);
+  c.audit();
+}
+
+TEST(Cluster, CommitMarksNodesBusy) {
+  Cluster c(tiny_cluster());
+  c.commit(alloc_of(7, {0, 1, 5}, gib(std::int64_t{32})));
+  EXPECT_EQ(c.free_nodes_total(), 13);
+  EXPECT_EQ(c.free_nodes_in_rack(0), 2);
+  EXPECT_EQ(c.free_nodes_in_rack(1), 3);
+  EXPECT_EQ(c.occupant(0), 7u);
+  EXPECT_EQ(c.occupant(5), 7u);
+  EXPECT_EQ(c.occupant(2), kInvalidJobId);
+  c.audit();
+}
+
+TEST(Cluster, ReleaseRestoresState) {
+  Cluster c(tiny_cluster(gib(std::int64_t{100})));
+  c.commit(alloc_of(1, {0, 1}, gib(std::int64_t{64}), gib(std::int64_t{10}),
+                    {{0, gib(std::int64_t{20})}}));
+  const Allocation released = c.release(1);
+  EXPECT_EQ(released.nodes.size(), 2u);
+  EXPECT_EQ(c.free_nodes_total(), 16);
+  EXPECT_EQ(c.pool_free(0), gib(std::int64_t{100}));
+  c.audit();
+}
+
+TEST(Cluster, PoolLedgers) {
+  Cluster c(tiny_cluster(gib(std::int64_t{100}), gib(std::int64_t{50})));
+  c.commit(alloc_of(1, {0, 4}, gib(std::int64_t{64}), gib(std::int64_t{30}),
+                    {{0, gib(std::int64_t{30})},
+                     {1, gib(std::int64_t{20})},
+                     {kGlobalPoolRack, gib(std::int64_t{10})}}));
+  EXPECT_EQ(c.pool_free(0), gib(std::int64_t{70}));
+  EXPECT_EQ(c.pool_free(1), gib(std::int64_t{80}));
+  EXPECT_EQ(c.global_pool_free(), gib(std::int64_t{40}));
+  EXPECT_EQ(c.rack_pools_used(), gib(std::int64_t{50}));
+  EXPECT_EQ(c.global_pool_used(), gib(std::int64_t{10}));
+  c.audit();
+}
+
+TEST(Cluster, DoubleAllocationOfNodeAborts) {
+  Cluster c(tiny_cluster());
+  c.commit(alloc_of(1, {3}, gib(std::int64_t{1})));
+  EXPECT_DEATH(c.commit(alloc_of(2, {3}, gib(std::int64_t{1}))), "occupied");
+}
+
+TEST(Cluster, SameJobTwiceAborts) {
+  Cluster c(tiny_cluster());
+  c.commit(alloc_of(1, {0}, gib(std::int64_t{1})));
+  EXPECT_DEATH(c.commit(alloc_of(1, {1}, gib(std::int64_t{1}))),
+               "already holds");
+}
+
+TEST(Cluster, PoolOvercommitAborts) {
+  Cluster c(tiny_cluster(gib(std::int64_t{10})));
+  EXPECT_DEATH(
+      c.commit(alloc_of(1, {0}, gib(std::int64_t{64}), gib(std::int64_t{11}),
+                        {{0, gib(std::int64_t{11})}})),
+      "overcommitted");
+}
+
+TEST(Cluster, GlobalPoolOvercommitAborts) {
+  Cluster c(tiny_cluster(Bytes{0}, gib(std::int64_t{5})));
+  EXPECT_DEATH(
+      c.commit(alloc_of(1, {0}, gib(std::int64_t{64}), gib(std::int64_t{6}),
+                        {{kGlobalPoolRack, gib(std::int64_t{6})}})),
+      "overcommitted");
+}
+
+TEST(Cluster, DrawsMustCoverFarRequirement) {
+  Cluster c(tiny_cluster(gib(std::int64_t{100})));
+  // 2 nodes × 10 GiB far = 20 GiB needed, only 10 drawn
+  EXPECT_DEATH(
+      c.commit(alloc_of(1, {0, 1}, gib(std::int64_t{64}),
+                        gib(std::int64_t{10}), {{0, gib(std::int64_t{10})}})),
+      "do not cover");
+}
+
+TEST(Cluster, DrawFromForeignRackAborts) {
+  Cluster c(tiny_cluster(gib(std::int64_t{100})));
+  // nodes in rack 0, draw from rack 2
+  EXPECT_DEATH(
+      c.commit(alloc_of(1, {0}, gib(std::int64_t{64}), gib(std::int64_t{10}),
+                        {{2, gib(std::int64_t{10})}})),
+      "hosting no node");
+}
+
+TEST(Cluster, LocalShareAboveCapacityAborts) {
+  Cluster c(tiny_cluster());
+  EXPECT_DEATH(c.commit(alloc_of(1, {0}, gib(std::int64_t{65}))), "local");
+}
+
+TEST(Cluster, ReleaseUnknownJobAborts) {
+  Cluster c(tiny_cluster());
+  EXPECT_DEATH((void)c.release(99), "not running");
+}
+
+TEST(Cluster, FindAllocation) {
+  Cluster c(tiny_cluster());
+  EXPECT_EQ(c.find_allocation(1), nullptr);
+  c.commit(alloc_of(1, {0}, gib(std::int64_t{1})));
+  const Allocation* a = c.find_allocation(1);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->nodes.size(), 1u);
+}
+
+TEST(Cluster, RunningJobsSorted) {
+  Cluster c(tiny_cluster());
+  c.commit(alloc_of(5, {0}, gib(std::int64_t{1})));
+  c.commit(alloc_of(2, {1}, gib(std::int64_t{1})));
+  c.commit(alloc_of(9, {2}, gib(std::int64_t{1})));
+  EXPECT_EQ(c.running_jobs(), (std::vector<JobId>{2, 5, 9}));
+}
+
+TEST(Cluster, FreeNodesLowestReturnsAscending) {
+  Cluster c(tiny_cluster());
+  c.commit(alloc_of(1, {4, 6}, gib(std::int64_t{1})));  // rack 1 = nodes 4..7
+  const auto free = c.free_nodes_in_rack_lowest(1, 10);
+  EXPECT_EQ(free, (std::vector<NodeId>{5, 7}));
+}
+
+TEST(Cluster, FreeNodesLowestHonorsCount) {
+  Cluster c(tiny_cluster());
+  const auto free = c.free_nodes_in_rack_lowest(2, 2);
+  EXPECT_EQ(free, (std::vector<NodeId>{8, 9}));
+}
+
+TEST(Cluster, AllocationAccessors) {
+  Allocation a = alloc_of(1, {0, 4}, gib(std::int64_t{64}),
+                          gib(std::int64_t{16}),
+                          {{0, gib(std::int64_t{16})},
+                           {kGlobalPoolRack, gib(std::int64_t{16})}});
+  EXPECT_EQ(a.far_total(), gib(std::int64_t{32}));
+  EXPECT_EQ(a.mem_total(), gib(std::int64_t{160}));
+  EXPECT_DOUBLE_EQ(a.far_fraction(), 0.2);
+  EXPECT_EQ(a.rack_draw_total(), gib(std::int64_t{16}));
+  EXPECT_EQ(a.global_draw_total(), gib(std::int64_t{16}));
+}
+
+TEST(Cluster, ManyCommitsAndReleasesStayConsistent) {
+  Cluster c(tiny_cluster(gib(std::int64_t{64})));
+  for (int round = 0; round < 50; ++round) {
+    const JobId id = static_cast<JobId>(round);
+    const NodeId n = static_cast<NodeId>(round % 16);
+    if (c.occupant(n) != kInvalidJobId) c.release(c.occupant(n));
+    c.commit(alloc_of(id, {n}, gib(std::int64_t{32}), gib(std::int64_t{4}),
+                      {{n / 4, gib(std::int64_t{4})}}));
+    c.audit();
+  }
+}
+
+}  // namespace
+}  // namespace dmsched

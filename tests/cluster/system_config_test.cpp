@@ -1,0 +1,64 @@
+#include "cluster/system_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmsched {
+namespace {
+
+TEST(SystemConfig, ReferenceShape) {
+  const ClusterConfig c = reference_config();
+  EXPECT_EQ(c.total_nodes, 1024);
+  EXPECT_EQ(c.nodes_per_rack, 64);
+  EXPECT_EQ(c.racks(), 16);
+  EXPECT_EQ(c.local_mem_per_node, gib(std::int64_t{256}));
+  EXPECT_TRUE(c.pool_per_rack.is_zero());
+  EXPECT_TRUE(c.global_pool.is_zero());
+  c.validate();
+}
+
+TEST(SystemConfig, DisaggregatedOverrides) {
+  const ClusterConfig c = disaggregated_config(128, 2048);
+  EXPECT_EQ(c.local_mem_per_node, gib(std::int64_t{128}));
+  EXPECT_EQ(c.pool_per_rack, gib(std::int64_t{2048}));
+  EXPECT_EQ(c.name, "dis-L128-P2048");
+  c.validate();
+}
+
+TEST(SystemConfig, DisaggregatedWithGlobalPool) {
+  const ClusterConfig c = disaggregated_config(128, 0, 32768);
+  EXPECT_TRUE(c.pool_per_rack.is_zero());
+  EXPECT_EQ(c.global_pool, gib(std::int64_t{32768}));
+  EXPECT_EQ(c.name, "dis-L128-P0-G32768");
+}
+
+TEST(SystemConfig, CustomConfig) {
+  const ClusterConfig c = custom_config(64, 8, gib(std::int64_t{32}),
+                                        gib(std::int64_t{100}), Bytes{0});
+  EXPECT_EQ(c.racks(), 8);
+  EXPECT_EQ(c.total_pool(), gib(std::int64_t{800}));
+  c.validate();
+}
+
+TEST(SystemConfig, EvaluationConfigsAreValidAndDistinct) {
+  const auto configs = evaluation_configs();
+  EXPECT_GE(configs.size(), 6u);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    configs[i].validate();
+    for (std::size_t k = i + 1; k < configs.size(); ++k) {
+      EXPECT_NE(configs[i].name, configs[k].name);
+    }
+  }
+  // the first entry is the reference machine
+  EXPECT_EQ(configs.front().name, reference_config().name);
+}
+
+TEST(SystemConfig, TopologyAblationPairHasEqualCapacity) {
+  // rack-pool config vs global-pool config used in Fig. 9 must carry the
+  // same total disaggregated bytes for a fair comparison
+  const ClusterConfig rack = disaggregated_config(128, 2048);
+  const ClusterConfig global = disaggregated_config(128, 0, 32768);
+  EXPECT_EQ(rack.total_pool(), global.total_pool());
+}
+
+}  // namespace
+}  // namespace dmsched

@@ -1,0 +1,113 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace dmsched {
+namespace {
+
+Cli make_cli() {
+  Cli cli("prog", "test program");
+  cli.add_string("name", "default", "a string");
+  cli.add_int("count", 5, "an int");
+  cli.add_double("rate", 1.5, "a double");
+  cli.add_flag("verbose", "a flag");
+  return cli;
+}
+
+TEST(Cli, DefaultsApplyWithoutArgs) {
+  Cli cli = make_cli();
+  const std::array argv{"prog"};
+  ASSERT_TRUE(cli.parse(1, argv.data()));
+  EXPECT_EQ(cli.get_string("name"), "default");
+  EXPECT_EQ(cli.get_int("count"), 5);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 1.5);
+  EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, EqualsSyntax) {
+  Cli cli = make_cli();
+  const std::array argv{"prog", "--name=x", "--count=9", "--rate=0.25"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_string("name"), "x");
+  EXPECT_EQ(cli.get_int("count"), 9);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.25);
+}
+
+TEST(Cli, SpaceSyntax) {
+  Cli cli = make_cli();
+  const std::array argv{"prog", "--count", "11", "--name", "spaced"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("count"), 11);
+  EXPECT_EQ(cli.get_string("name"), "spaced");
+}
+
+TEST(Cli, BareFlagSetsTrue) {
+  Cli cli = make_cli();
+  const std::array argv{"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, FlagExplicitFalse) {
+  Cli cli = make_cli();
+  const std::array argv{"prog", "--verbose=false"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(cli.get_flag("verbose"));
+}
+
+TEST(Cli, UnknownOptionFails) {
+  Cli cli = make_cli();
+  const std::array argv{"prog", "--bogus=1"};
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, NonIntegerValueFails) {
+  Cli cli = make_cli();
+  const std::array argv{"prog", "--count=abc"};
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, MissingValueFails) {
+  Cli cli = make_cli();
+  const std::array argv{"prog", "--count"};
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, PositionalArgumentFails) {
+  Cli cli = make_cli();
+  const std::array argv{"prog", "stray"};
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Cli cli = make_cli();
+  const std::array argv{"prog", "--help"};
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, UsageListsOptionsAndDefaults) {
+  Cli cli = make_cli();
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("default: 5"), std::string::npos);
+  EXPECT_NE(usage.find("test program"), std::string::npos);
+}
+
+TEST(Cli, UnregisteredGetAborts) {
+  Cli cli = make_cli();
+  const std::array argv{"prog"};
+  ASSERT_TRUE(cli.parse(1, argv.data()));
+  EXPECT_DEATH((void)cli.get_int("nope"), "never registered");
+}
+
+TEST(Cli, WrongKindGetAborts) {
+  Cli cli = make_cli();
+  const std::array argv{"prog"};
+  ASSERT_TRUE(cli.parse(1, argv.data()));
+  EXPECT_DEATH((void)cli.get_int("name"), "kind mismatch");
+}
+
+}  // namespace
+}  // namespace dmsched

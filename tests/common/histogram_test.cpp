@@ -1,0 +1,88 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmsched {
+namespace {
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, CountsLandInRightBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(1.9);   // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-3.0);
+  h.add(42.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 2u);  // nothing dropped
+}
+
+TEST(Histogram, Fractions) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(3.5);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.fraction(3), 0.25);
+}
+
+TEST(Histogram, EmptyFractionIsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Cdf, EmptyInput) {
+  EXPECT_TRUE(empirical_cdf({}, 10).empty());
+}
+
+TEST(Cdf, MonotoneNondecreasing) {
+  std::vector<double> xs;
+  for (int i = 0; i < 997; ++i) xs.push_back((i * 7919) % 1000 / 10.0);
+  const auto cdf = empirical_cdf(xs, 50);
+  ASSERT_EQ(cdf.size(), 50u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].x, cdf[i - 1].x);
+    EXPECT_GE(cdf[i].cumulative_fraction, cdf[i - 1].cumulative_fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative_fraction, 1.0);
+}
+
+TEST(Cdf, EndpointsCoverRange) {
+  const auto cdf = empirical_cdf({5.0, 1.0, 3.0}, 3);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf.front().x, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().x, 5.0);
+}
+
+TEST(Cdf, UniformSamplesGiveLinearCdf) {
+  std::vector<double> xs;
+  for (int i = 0; i <= 1000; ++i) xs.push_back(static_cast<double>(i));
+  const auto cdf = empirical_cdf(xs, 11);
+  // F(x) ≈ x/1000
+  for (const auto& p : cdf) {
+    EXPECT_NEAR(p.cumulative_fraction, p.x / 1000.0, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace dmsched

@@ -1,0 +1,40 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmsched {
+namespace {
+
+TEST(Log, LevelRoundTrips) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(original);
+}
+
+TEST(Log, EmittingBelowThresholdIsSafeNoOp) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kError);
+  // must not crash and must not evaluate into anything visible
+  DMSCHED_LOG_DEBUG("dropped %d", 1);
+  DMSCHED_LOG_INFO("dropped %s", "too");
+  set_log_level(original);
+}
+
+TEST(Log, EmittingAboveThresholdIsSafe) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::kDebug);
+  DMSCHED_LOG_DEBUG("visible debug %d", 42);
+  DMSCHED_LOG_ERROR("visible error");
+  set_log_level(original);
+}
+
+TEST(Log, LongMessagesAreTruncatedNotCrashing) {
+  const std::string big(5000, 'x');
+  DMSCHED_LOG_ERROR("%s", big.c_str());
+}
+
+}  // namespace
+}  // namespace dmsched

@@ -1,0 +1,60 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmsched {
+namespace {
+
+TEST(ConsoleTable, RendersTitleHeaderAndRows) {
+  ConsoleTable t("demo");
+  t.columns({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("=== demo ==="), std::string::npos);
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("| alpha "), std::string::npos);
+  EXPECT_NE(s.find("| 22"), std::string::npos);
+}
+
+TEST(ConsoleTable, ColumnsAlignToWidestCell) {
+  ConsoleTable t("w");
+  t.columns({"x"});
+  t.row({"longest-cell"});
+  t.row({"s"});
+  const std::string s = t.str();
+  // the short row must be padded to the long cell's width
+  EXPECT_NE(s.find("| s            |"), std::string::npos);
+}
+
+TEST(ConsoleTable, SeparatorProducesRule) {
+  ConsoleTable t("sep");
+  t.columns({"a"});
+  t.row({"1"});
+  t.separator();
+  t.row({"2"});
+  const std::string s = t.str();
+  // top + post-header + separator + bottom = 4 horizontal rules
+  std::size_t rules = 0;
+  for (std::size_t pos = 0; (pos = s.find("+---", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(ConsoleTable, MismatchedRowWidthAborts) {
+  ConsoleTable t("bad");
+  t.columns({"a", "b"});
+  EXPECT_DEATH(t.row({"only-one"}), "width");
+}
+
+TEST(ConsoleTable, EmptyTableStillRenders) {
+  ConsoleTable t("empty");
+  t.columns({"col"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("col"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmsched

@@ -1,0 +1,66 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmsched {
+namespace {
+
+TEST(Bytes, DefaultIsZero) {
+  EXPECT_EQ(Bytes{}.count(), 0);
+  EXPECT_TRUE(Bytes{}.is_zero());
+}
+
+TEST(Bytes, UnitConstants) {
+  EXPECT_EQ(kKiB.count(), 1024);
+  EXPECT_EQ(kMiB.count(), 1024 * 1024);
+  EXPECT_EQ(kGiB.count(), std::int64_t{1} << 30);
+  EXPECT_EQ(kTiB.count(), std::int64_t{1} << 40);
+}
+
+TEST(Bytes, GibHelperIntegral) {
+  EXPECT_EQ(gib(std::int64_t{256}).count(), 256 * kGiB.count());
+}
+
+TEST(Bytes, GibHelperFractional) {
+  EXPECT_EQ(gib(0.5).count(), kGiB.count() / 2);
+  EXPECT_DOUBLE_EQ(gib(1.25).gib(), 1.25);
+}
+
+TEST(Bytes, Arithmetic) {
+  const Bytes a = gib(std::int64_t{3});
+  const Bytes b = gib(std::int64_t{1});
+  EXPECT_EQ((a + b).count(), gib(std::int64_t{4}).count());
+  EXPECT_EQ((a - b).count(), gib(std::int64_t{2}).count());
+  EXPECT_EQ((b * 7).count(), gib(std::int64_t{7}).count());
+  EXPECT_EQ((7 * b).count(), gib(std::int64_t{7}).count());
+}
+
+TEST(Bytes, SubtractionUnderflowAborts) {
+  EXPECT_DEATH(
+      { [[maybe_unused]] auto r = gib(std::int64_t{1}) - gib(std::int64_t{2}); },
+      "negative");
+}
+
+TEST(Bytes, Ordering) {
+  EXPECT_LT(kMiB, kGiB);
+  EXPECT_EQ(min(kMiB, kGiB), kMiB);
+  EXPECT_EQ(max(kMiB, kGiB), kGiB);
+}
+
+TEST(Bytes, RatioHandlesZeroDenominator) {
+  EXPECT_DOUBLE_EQ(ratio(kGiB, Bytes{0}), 0.0);
+  EXPECT_DOUBLE_EQ(ratio(kGiB, kGiB * 2), 0.5);
+}
+
+TEST(Bytes, FormatSmall) {
+  EXPECT_EQ(format_bytes(Bytes{512}), "512 B");
+}
+
+TEST(Bytes, FormatScalesUnits) {
+  EXPECT_EQ(format_bytes(gib(std::int64_t{128})), "128.0 GiB");
+  EXPECT_EQ(format_bytes(kTiB * 2), "2.0 TiB");
+  EXPECT_EQ(format_bytes(kMiB + kMiB / 2), "1.5 MiB");
+}
+
+}  // namespace
+}  // namespace dmsched

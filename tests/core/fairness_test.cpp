@@ -1,0 +1,134 @@
+#include "core/fairness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "testing/builders.hpp"
+
+namespace dmsched {
+namespace {
+
+JobOutcome outcome_for_user(std::int32_t user, double wait_h,
+                            double runtime_h, std::int32_t nodes = 1,
+                            JobFate fate = JobFate::kCompleted) {
+  JobOutcome o;
+  o.user = user;
+  o.submit = SimTime{};
+  o.start = seconds(wait_h * 3600.0);
+  o.end = o.start + seconds(runtime_h * 3600.0);
+  o.runtime = seconds(runtime_h * 3600.0);
+  o.nodes = nodes;
+  o.fate = fate;
+  return o;
+}
+
+TEST(Jain, PerfectlyEvenIsOne) {
+  EXPECT_DOUBLE_EQ(jain_index({3.0, 3.0, 3.0}), 1.0);
+}
+
+TEST(Jain, SingleDominatorIsOneOverN) {
+  EXPECT_DOUBLE_EQ(jain_index({5.0, 0.0, 0.0, 0.0}), 0.25);
+}
+
+TEST(Jain, EmptyAndAllZeroAreOne) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 1.0);
+}
+
+TEST(Jain, KnownValue) {
+  // (1+2+3)²/(3·(1+4+9)) = 36/42
+  EXPECT_NEAR(jain_index({1.0, 2.0, 3.0}), 36.0 / 42.0, 1e-12);
+}
+
+TEST(Jain, NegativeValueAborts) {
+  EXPECT_DEATH((void)jain_index({1.0, -0.5}), "negative");
+}
+
+TEST(Fairness, GroupsByUser) {
+  RunMetrics m;
+  m.jobs.push_back(outcome_for_user(1, 1.0, 1.0, 4));
+  m.jobs.push_back(outcome_for_user(1, 3.0, 1.0, 4));
+  m.jobs.push_back(outcome_for_user(2, 0.0, 2.0, 8));
+  const FairnessReport r = fairness_report(m);
+  ASSERT_EQ(r.users.size(), 2u);
+  EXPECT_EQ(r.users[0].user, 1);
+  EXPECT_EQ(r.users[0].jobs, 2u);
+  EXPECT_DOUBLE_EQ(r.users[0].mean_wait_hours, 2.0);
+  EXPECT_DOUBLE_EQ(r.users[0].node_hours, 8.0);
+  EXPECT_EQ(r.users[1].user, 2);
+  EXPECT_DOUBLE_EQ(r.users[1].node_hours, 16.0);
+}
+
+TEST(Fairness, RejectedJobsCountedSeparately) {
+  RunMetrics m;
+  m.jobs.push_back(outcome_for_user(1, 0.0, 1.0));
+  m.jobs.push_back(outcome_for_user(1, 0.0, 1.0, 1, JobFate::kRejected));
+  const FairnessReport r = fairness_report(m);
+  ASSERT_EQ(r.users.size(), 1u);
+  EXPECT_EQ(r.users[0].jobs, 1u);
+  EXPECT_EQ(r.users[0].rejected, 1u);
+}
+
+TEST(Fairness, UserWithOnlyRejectionsExcludedFromIndices) {
+  RunMetrics m;
+  m.jobs.push_back(outcome_for_user(1, 0.0, 1.0));
+  m.jobs.push_back(outcome_for_user(9, 0.0, 1.0, 1, JobFate::kRejected));
+  const FairnessReport r = fairness_report(m);
+  EXPECT_EQ(r.users.size(), 1u);
+}
+
+TEST(Fairness, EvenServiceScoresHigh) {
+  RunMetrics m;
+  for (std::int32_t u = 0; u < 10; ++u) {
+    m.jobs.push_back(outcome_for_user(u, 1.0, 1.0));
+  }
+  const FairnessReport r = fairness_report(m);
+  EXPECT_NEAR(r.jain_bsld, 1.0, 1e-12);
+  EXPECT_NEAR(r.jain_wait, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.max_min_bsld_ratio, 1.0);
+}
+
+TEST(Fairness, StarvedUserDragsIndexDown) {
+  RunMetrics m;
+  for (std::int32_t u = 0; u < 9; ++u) {
+    m.jobs.push_back(outcome_for_user(u, 0.0, 1.0));  // bsld 1
+  }
+  m.jobs.push_back(outcome_for_user(9, 99.0, 1.0));  // bsld 100
+  const FairnessReport r = fairness_report(m);
+  EXPECT_LT(r.jain_bsld, 0.2);
+  EXPECT_NEAR(r.max_min_bsld_ratio, 100.0, 1e-9);
+}
+
+TEST(Fairness, TopDecileNodeShare) {
+  RunMetrics m;
+  // 10 users; user 0 consumes 10× the node-hours of each other user
+  m.jobs.push_back(outcome_for_user(0, 0.0, 10.0, 10));  // 100 node-h
+  for (std::int32_t u = 1; u < 10; ++u) {
+    m.jobs.push_back(outcome_for_user(u, 0.0, 10.0, 1));  // 10 node-h each
+  }
+  const FairnessReport r = fairness_report(m);
+  EXPECT_NEAR(r.top_decile_node_share, 100.0 / 190.0, 1e-12);
+}
+
+TEST(Fairness, EndToEndThroughSimulation) {
+  ExperimentConfig config;
+  config.cluster = testing::tiny_cluster(gib(std::int64_t{64}));
+  config.workload_reference_mem = gib(std::int64_t{64});
+  config.scheduler = SchedulerKind::kMemAwareEasy;
+  config.model = WorkloadModel::kMixed;
+  config.jobs = 300;
+  config.seed = 3;
+  config.target_load = 0.9;
+  const RunMetrics m = run_experiment(config);
+  const FairnessReport r = fairness_report(m);
+  EXPECT_GT(r.users.size(), 10u);
+  EXPECT_GT(r.jain_bsld, 0.0);
+  EXPECT_LE(r.jain_bsld, 1.0 + 1e-12);
+  EXPECT_GE(r.top_decile_node_share, 0.1);  // Zipf-ish user mix
+  std::size_t total_jobs = 0;
+  for (const auto& u : r.users) total_jobs += u.jobs + u.rejected;
+  EXPECT_EQ(total_jobs, m.jobs.size());
+}
+
+}  // namespace
+}  // namespace dmsched

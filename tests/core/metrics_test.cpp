@@ -1,0 +1,112 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmsched {
+namespace {
+
+JobOutcome outcome(double submit_h, double start_h, double end_h,
+                   double runtime_h, JobFate fate = JobFate::kCompleted) {
+  JobOutcome o;
+  o.submit = seconds(submit_h * 3600.0);
+  o.start = seconds(start_h * 3600.0);
+  o.end = seconds(end_h * 3600.0);
+  o.runtime = seconds(runtime_h * 3600.0);
+  o.nodes = 1;
+  o.fate = fate;
+  return o;
+}
+
+TEST(Metrics, WaitAndResponse) {
+  const JobOutcome o = outcome(1.0, 3.0, 5.0, 2.0);
+  EXPECT_DOUBLE_EQ(o.wait().hours(), 2.0);
+  EXPECT_DOUBLE_EQ(o.response().hours(), 4.0);
+}
+
+TEST(Metrics, BoundedSlowdownBasic) {
+  // wait 2h + run 2h over runtime 2h -> 2.0
+  EXPECT_DOUBLE_EQ(outcome(1.0, 3.0, 5.0, 2.0).bounded_slowdown(), 2.0);
+}
+
+TEST(Metrics, BoundedSlowdownChargesDilation) {
+  // no wait, runtime 1 h but dilated end at 1.5 h -> bsld 1.5
+  EXPECT_DOUBLE_EQ(outcome(0.0, 0.0, 1.5, 1.0).bounded_slowdown(), 1.5);
+}
+
+TEST(Metrics, BoundedSlowdownThresholdForTinyJobs) {
+  // 1-second job waiting 10 seconds: denominator clamps to 10 s
+  JobOutcome o;
+  o.submit = SimTime{};
+  o.start = seconds(std::int64_t{10});
+  o.end = seconds(std::int64_t{11});
+  o.runtime = seconds(std::int64_t{1});
+  EXPECT_DOUBLE_EQ(o.bounded_slowdown(), 1.1);
+}
+
+TEST(Metrics, BoundedSlowdownNeverBelowOne) {
+  EXPECT_DOUBLE_EQ(outcome(0.0, 0.0, 0.001, 2.0).bounded_slowdown(), 1.0);
+}
+
+TEST(Metrics, FarMemoryAccessors) {
+  JobOutcome o = outcome(0, 0, 1, 1);
+  EXPECT_FALSE(o.used_far_memory());
+  o.far_rack = gib(std::int64_t{4});
+  o.far_global = gib(std::int64_t{2});
+  EXPECT_TRUE(o.used_far_memory());
+  EXPECT_EQ(o.far_total(), gib(std::int64_t{6}));
+}
+
+TEST(Metrics, FinalizeAggregates) {
+  RunMetrics m;
+  m.makespan = hours(10);
+  m.jobs.push_back(outcome(0.0, 0.0, 1.0, 1.0));          // bsld 1
+  m.jobs.push_back(outcome(0.0, 1.0, 2.0, 1.0));          // bsld 2, wait 1h
+  m.jobs.push_back(outcome(0.0, 0.0, 0.0, 1.0, JobFate::kRejected));
+  m.jobs.push_back(outcome(0.0, 3.0, 4.0, 1.0, JobFate::kKilled));
+  m.finalize();
+  EXPECT_EQ(m.completed, 2u);
+  EXPECT_EQ(m.killed, 1u);
+  EXPECT_EQ(m.rejected, 1u);
+  // waits over started jobs: 0, 1, 3
+  EXPECT_NEAR(m.mean_wait_hours, 4.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.max_wait_hours, 3.0);
+  EXPECT_DOUBLE_EQ(m.jobs_per_hour, 0.2);  // 2 completed / 10 h
+}
+
+TEST(Metrics, FinalizeFarFraction) {
+  RunMetrics m;
+  m.makespan = hours(1);
+  JobOutcome far = outcome(0, 0, 1, 1);
+  far.far_rack = gib(std::int64_t{8});
+  far.dilation = 1.2;
+  m.jobs.push_back(far);
+  m.jobs.push_back(outcome(0, 0, 1, 1));
+  m.finalize();
+  EXPECT_DOUBLE_EQ(m.frac_jobs_far, 0.5);
+  EXPECT_DOUBLE_EQ(m.mean_dilation, 1.1);
+  // 8 GiB held for 1 h
+  EXPECT_DOUBLE_EQ(m.far_gib_hours, 8.0);
+}
+
+TEST(Metrics, FinalizeEmpty) {
+  RunMetrics m;
+  m.finalize();
+  EXPECT_EQ(m.completed, 0u);
+  EXPECT_DOUBLE_EQ(m.mean_wait_hours, 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_bsld, 0.0);
+  EXPECT_DOUBLE_EQ(m.frac_jobs_far, 0.0);
+}
+
+TEST(Metrics, FinalizeIsIdempotent) {
+  RunMetrics m;
+  m.makespan = hours(2);
+  m.jobs.push_back(outcome(0.0, 1.0, 2.0, 1.0));
+  m.finalize();
+  const double first = m.mean_wait_hours;
+  m.finalize();
+  EXPECT_DOUBLE_EQ(m.mean_wait_hours, first);
+  EXPECT_EQ(m.completed, 1u);
+}
+
+}  // namespace
+}  // namespace dmsched

@@ -1,0 +1,78 @@
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "cluster/system_config.hpp"
+#include "testing/builders.hpp"
+
+namespace dmsched {
+namespace {
+
+ExperimentConfig small_config(SchedulerKind kind) {
+  ExperimentConfig c;
+  c.cluster = testing::tiny_cluster(gib(std::int64_t{64}));
+  c.workload_reference_mem = gib(std::int64_t{64});
+  c.scheduler = kind;
+  c.model = WorkloadModel::kMixed;
+  c.jobs = 150;
+  c.seed = 5;
+  c.target_load = 0.8;
+  return c;
+}
+
+TEST(Sweep, ParallelForCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for_index(100, 4, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Sweep, ParallelForZeroCount) {
+  parallel_for_index(0, 4, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(Sweep, ParallelForSingleThread) {
+  std::vector<int> order;
+  parallel_for_index(5, 1, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Sweep, ResultsMatchSequentialRuns) {
+  const std::vector<ExperimentConfig> configs = {
+      small_config(SchedulerKind::kFcfs),
+      small_config(SchedulerKind::kEasy),
+      small_config(SchedulerKind::kMemAwareEasy)};
+  const auto parallel = run_sweep(configs, 3);
+  ASSERT_EQ(parallel.size(), 3u);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const RunMetrics solo = run_experiment(configs[i]);
+    EXPECT_DOUBLE_EQ(parallel[i].mean_wait_hours, solo.mean_wait_hours) << i;
+    EXPECT_DOUBLE_EQ(parallel[i].node_utilization, solo.node_utilization) << i;
+    EXPECT_EQ(parallel[i].completed, solo.completed) << i;
+  }
+}
+
+TEST(Sweep, SharedTraceVariantUsesGivenTrace) {
+  const auto config = small_config(SchedulerKind::kEasy);
+  const Trace trace = make_workload(config);
+  const auto results =
+      run_sweep_on_trace({config, config}, trace, 2);
+  ASSERT_EQ(results.size(), 2u);
+  // identical config + identical trace => identical results
+  EXPECT_DOUBLE_EQ(results[0].mean_wait_hours, results[1].mean_wait_hours);
+  EXPECT_EQ(results[0].completed, results[1].completed);
+}
+
+TEST(Sweep, LabelPropagates) {
+  auto config = small_config(SchedulerKind::kFcfs);
+  config.label = "my-label";
+  const auto results = run_sweep({config}, 1);
+  EXPECT_EQ(results[0].label, "my-label");
+}
+
+}  // namespace
+}  // namespace dmsched

@@ -1,0 +1,152 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dmsched::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), SimTime{});
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, RunAdvancesClock) {
+  Engine e;
+  e.schedule_at(seconds(std::int64_t{10}), EventClass::kTimer, [](SimTime) {});
+  EXPECT_EQ(e.run(), 1u);
+  EXPECT_EQ(e.now(), seconds(std::int64_t{10}));
+}
+
+TEST(Engine, HandlerSeesFiringTime) {
+  Engine e;
+  SimTime seen{};
+  e.schedule_at(seconds(std::int64_t{7}), EventClass::kTimer,
+                [&](SimTime t) { seen = t; });
+  e.run();
+  EXPECT_EQ(seen, seconds(std::int64_t{7}));
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine e;
+  std::vector<double> fire_times;
+  e.schedule_at(seconds(std::int64_t{5}), EventClass::kTimer, [&](SimTime) {
+    e.schedule_in(seconds(std::int64_t{3}), EventClass::kTimer,
+                  [&](SimTime t2) { fire_times.push_back(t2.seconds()); });
+  });
+  e.run();
+  ASSERT_EQ(fire_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(fire_times[0], 8.0);
+}
+
+TEST(Engine, HandlersMayScheduleAtCurrentTime) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(seconds(std::int64_t{1}), EventClass::kSubmission, [&](SimTime) {
+    e.schedule_at(e.now(), EventClass::kSchedule, [&](SimTime) { ++fired; });
+  });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), seconds(std::int64_t{1}));
+}
+
+TEST(Engine, SchedulingInThePastAborts) {
+  Engine e;
+  e.schedule_at(seconds(std::int64_t{5}), EventClass::kTimer, [&](SimTime) {
+    EXPECT_DEATH(e.schedule_at(seconds(std::int64_t{1}), EventClass::kTimer,
+                               [](SimTime) {}),
+                 "time travel");
+  });
+  e.run();
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine e;
+  int fired = 0;
+  const EventId id = e.schedule_at(seconds(std::int64_t{3}), EventClass::kTimer,
+                                   [&](SimTime) { ++fired; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, RunUntilStopsAtHorizon) {
+  Engine e;
+  std::vector<int> fired;
+  for (int i = 1; i <= 5; ++i) {
+    e.schedule_at(seconds(std::int64_t{i}), EventClass::kTimer,
+                  [&fired, i](SimTime) { fired.push_back(i); });
+  }
+  e.run_until(seconds(std::int64_t{3}));
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));  // inclusive horizon
+  EXPECT_EQ(e.now(), seconds(std::int64_t{3}));
+  e.run();
+  EXPECT_EQ(fired.size(), 5u);
+}
+
+TEST(Engine, RunUntilAdvancesClockEvenWhenIdle) {
+  Engine e;
+  e.run_until(seconds(std::int64_t{42}));
+  EXPECT_EQ(e.now(), seconds(std::int64_t{42}));
+}
+
+TEST(Engine, StepProcessesExactlyOne) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(seconds(std::int64_t{1}), EventClass::kTimer,
+                [&](SimTime) { ++fired; });
+  e.schedule_at(seconds(std::int64_t{2}), EventClass::kTimer,
+                [&](SimTime) { ++fired; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, EventsProcessedCounter) {
+  Engine e;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(seconds(std::int64_t{i + 1}), EventClass::kTimer,
+                  [](SimTime) {});
+  }
+  e.run();
+  EXPECT_EQ(e.events_processed(), 10u);
+}
+
+TEST(Engine, CascadingEventsAllRun) {
+  // Each event schedules the next: a 100-deep chain must drain fully.
+  Engine e;
+  int count = 0;
+  std::function<void(SimTime)> chain = [&](SimTime) {
+    if (++count < 100) {
+      e.schedule_in(seconds(std::int64_t{1}), EventClass::kTimer, chain);
+    }
+  };
+  e.schedule_at(seconds(std::int64_t{0}), EventClass::kTimer, chain);
+  e.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(e.now(), seconds(std::int64_t{99}));
+}
+
+TEST(Engine, SameTimeRespectsEventClassOrder) {
+  Engine e;
+  std::vector<EventClass> order;
+  const SimTime t = seconds(std::int64_t{4});
+  e.schedule_at(t, EventClass::kSchedule,
+                [&](SimTime) { order.push_back(EventClass::kSchedule); });
+  e.schedule_at(t, EventClass::kCompletion,
+                [&](SimTime) { order.push_back(EventClass::kCompletion); });
+  e.schedule_at(t, EventClass::kSubmission,
+                [&](SimTime) { order.push_back(EventClass::kSubmission); });
+  e.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], EventClass::kCompletion);
+  EXPECT_EQ(order[1], EventClass::kSubmission);
+  EXPECT_EQ(order[2], EventClass::kSchedule);
+}
+
+}  // namespace
+}  // namespace dmsched::sim

@@ -1,0 +1,127 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dmsched::sim {
+namespace {
+
+EventFn noop() {
+  return [](SimTime) {};
+}
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), kTimeInfinity);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(seconds(std::int64_t{3}), EventClass::kTimer, noop());
+  q.push(seconds(std::int64_t{1}), EventClass::kTimer, noop());
+  q.push(seconds(std::int64_t{2}), EventClass::kTimer, noop());
+  EXPECT_EQ(q.pop().time, seconds(std::int64_t{1}));
+  EXPECT_EQ(q.pop().time, seconds(std::int64_t{2}));
+  EXPECT_EQ(q.pop().time, seconds(std::int64_t{3}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ClassBreaksTimestampTies) {
+  EventQueue q;
+  const SimTime t = seconds(std::int64_t{5});
+  q.push(t, EventClass::kSchedule, noop());
+  q.push(t, EventClass::kSubmission, noop());
+  q.push(t, EventClass::kCompletion, noop());
+  EXPECT_EQ(q.pop().cls, EventClass::kCompletion);
+  EXPECT_EQ(q.pop().cls, EventClass::kSubmission);
+  EXPECT_EQ(q.pop().cls, EventClass::kSchedule);
+}
+
+TEST(EventQueue, InsertionOrderBreaksFullTies) {
+  EventQueue q;
+  const SimTime t = seconds(std::int64_t{5});
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.push(t, EventClass::kTimer, [&order, i](SimTime) { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    auto f = q.pop();
+    f.fn(f.time);
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NextTimeSeesEarliestLive) {
+  EventQueue q;
+  q.push(seconds(std::int64_t{9}), EventClass::kTimer, noop());
+  const EventId early =
+      q.push(seconds(std::int64_t{2}), EventClass::kTimer, noop());
+  EXPECT_EQ(q.next_time(), seconds(std::int64_t{2}));
+  EXPECT_TRUE(q.cancel(early));
+  EXPECT_EQ(q.next_time(), seconds(std::int64_t{9}));
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  const EventId id = q.push(seconds(std::int64_t{1}), EventClass::kTimer, noop());
+  q.push(seconds(std::int64_t{2}), EventClass::kTimer, noop());
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop().time, seconds(std::int64_t{2}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.push(seconds(std::int64_t{1}), EventClass::kTimer, noop());
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireFails) {
+  EventQueue q;
+  const EventId id = q.push(seconds(std::int64_t{1}), EventClass::kTimer, noop());
+  (void)q.pop();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(999));
+}
+
+TEST(EventQueue, PopSkipsCancelledFront) {
+  EventQueue q;
+  const EventId a = q.push(seconds(std::int64_t{1}), EventClass::kTimer, noop());
+  const EventId b = q.push(seconds(std::int64_t{1}), EventClass::kTimer, noop());
+  q.push(seconds(std::int64_t{2}), EventClass::kTimer, noop());
+  EXPECT_TRUE(q.cancel(a));
+  EXPECT_TRUE(q.cancel(b));
+  EXPECT_EQ(q.pop().time, seconds(std::int64_t{2}));
+}
+
+TEST(EventQueue, ManyEventsStressOrder) {
+  EventQueue q;
+  // pseudo-random times, verify nondecreasing pop order
+  std::uint64_t x = 88172645463325252ULL;
+  for (int i = 0; i < 2000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    q.push(usec(static_cast<std::int64_t>(x % 100000)), EventClass::kTimer,
+           noop());
+  }
+  SimTime last{};
+  while (!q.empty()) {
+    const auto f = q.pop();
+    EXPECT_GE(f.time, last);
+    last = f.time;
+  }
+}
+
+}  // namespace
+}  // namespace dmsched::sim

@@ -1,0 +1,87 @@
+// Shared test fixtures: tiny machines and hand-built jobs with readable
+// construction syntax.
+#pragma once
+
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "workload/job.hpp"
+#include "workload/trace.hpp"
+
+namespace dmsched::testing {
+
+/// Fluent job builder: `job(0).nodes(4).mem_gib(64).runtime_h(2).at_h(1)`.
+class JobBuilder {
+ public:
+  explicit JobBuilder(JobId id) { job_.id = id; }
+
+  JobBuilder& at(SimTime t) {
+    job_.submit = t;
+    return *this;
+  }
+  JobBuilder& at_h(double h) { return at(seconds(h * 3600.0)); }
+  JobBuilder& nodes(std::int32_t n) {
+    job_.nodes = n;
+    return *this;
+  }
+  JobBuilder& mem_gib(double g) {
+    job_.mem_per_node = gib(g);
+    return *this;
+  }
+  JobBuilder& runtime(SimTime t) {
+    job_.runtime = t;
+    if (job_.walltime < t) job_.walltime = t;
+    return *this;
+  }
+  JobBuilder& runtime_h(double h) { return runtime(seconds(h * 3600.0)); }
+  JobBuilder& walltime(SimTime t) {
+    job_.walltime = t;
+    return *this;
+  }
+  JobBuilder& walltime_h(double h) { return walltime(seconds(h * 3600.0)); }
+  JobBuilder& sensitivity(MemSensitivity s) {
+    job_.sensitivity = s;
+    return *this;
+  }
+  JobBuilder& user(std::int32_t u) {
+    job_.user = u;
+    return *this;
+  }
+
+  /// Finalize (defaults: 1 node, 1 GiB, 1 h runtime == walltime, t=0).
+  [[nodiscard]] Job build() const {
+    Job j = job_;
+    if (j.nodes <= 0) j.nodes = 1;
+    if (j.mem_per_node.is_zero()) j.mem_per_node = gib(std::int64_t{1});
+    if (j.runtime <= SimTime{0}) j.runtime = hours(1);
+    if (j.walltime < j.runtime) j.walltime = j.runtime;
+    return j;
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor): test sugar
+  operator Job() const { return build(); }
+
+ private:
+  Job job_;
+};
+
+inline JobBuilder job(JobId id) { return JobBuilder(id); }
+
+/// A trace from builders, already sorted/re-id'd.
+inline Trace trace_of(std::vector<Job> jobs, std::string name = "test") {
+  return Trace::make(std::move(jobs), std::move(name));
+}
+
+/// A small machine: 4 racks × 4 nodes, 64 GiB local, with optional pools.
+inline ClusterConfig tiny_cluster(Bytes pool_per_rack = Bytes{0},
+                                  Bytes global_pool = Bytes{0}) {
+  ClusterConfig c;
+  c.name = "tiny";
+  c.total_nodes = 16;
+  c.nodes_per_rack = 4;
+  c.local_mem_per_node = gib(std::int64_t{64});
+  c.pool_per_rack = pool_per_rack;
+  c.global_pool = global_pool;
+  return c;
+}
+
+}  // namespace dmsched::testing

@@ -1,0 +1,111 @@
+// A hand-driven SchedContext for scheduler unit tests: set up the machine,
+// queue, and running set explicitly, call schedule(), inspect what started.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/engine.hpp"
+#include "sched/queue_policy.hpp"
+#include "sched/scheduler.hpp"
+
+namespace dmsched::testing {
+
+class FakeContext final : public SchedContext {
+ public:
+  FakeContext(ClusterConfig config, std::vector<Job> jobs)
+      : config_(std::move(config)),
+        jobs_(std::move(jobs)),
+        cluster_(config_) {}
+
+  // --- test setup -----------------------------------------------------------
+  void set_now(SimTime t) { now_ = t; }
+  void set_placement(PlacementPolicy p) { placement_ = p; }
+  void set_slowdown(SlowdownModel m) { slowdown_ = m; }
+  void set_queue_order(QueueOrder order) { order_ = order; }
+
+  /// Put a job in the waiting queue.
+  void enqueue(JobId id) { queue_.push_back(id); }
+
+  /// Start a job directly (bypassing any scheduler) so tests can set up a
+  /// running set. Uses the context's placement policy.
+  void force_run(JobId id) {
+    const auto alloc = plan_start(cluster_, jobs_[id], placement_);
+    DMSCHED_ASSERT(alloc.has_value(), "force_run: job does not fit");
+    admit(id, *alloc);
+  }
+
+  // --- observations ----------------------------------------------------------
+  /// Jobs started through start_job, in start order.
+  [[nodiscard]] const std::vector<JobId>& started() const { return started_; }
+  [[nodiscard]] bool was_started(JobId id) const {
+    return std::find(started_.begin(), started_.end(), id) != started_.end();
+  }
+  [[nodiscard]] Cluster& mutable_cluster() { return cluster_; }
+  [[nodiscard]] const RunningJob* running_record(JobId id) const {
+    for (const auto& r : running_) {
+      if (r.id == id) return &r;
+    }
+    return nullptr;
+  }
+
+  /// Finish a running job: release resources, drop from the running set.
+  void finish(JobId id) {
+    cluster_.release(id);
+    running_.erase(std::find_if(running_.begin(), running_.end(),
+                                [&](const RunningJob& r) { return r.id == id; }));
+  }
+
+  // --- SchedContext ----------------------------------------------------------
+  [[nodiscard]] SimTime now() const override { return now_; }
+  [[nodiscard]] const Cluster& cluster() const override { return cluster_; }
+  [[nodiscard]] const Job& job(JobId id) const override { return jobs_[id]; }
+  [[nodiscard]] std::vector<JobId> queued_jobs() const override {
+    std::vector<JobId> ids = queue_;
+    order_queue(ids, jobs_, order_, now_);
+    return ids;
+  }
+  [[nodiscard]] std::vector<RunningJob> running_jobs() const override {
+    return running_;
+  }
+  [[nodiscard]] PlacementPolicy placement() const override {
+    return placement_;
+  }
+  [[nodiscard]] const SlowdownModel& slowdown() const override {
+    return slowdown_;
+  }
+  void start_job(JobId id, const Allocation& alloc) override {
+    const auto it = std::find(queue_.begin(), queue_.end(), id);
+    DMSCHED_ASSERT(it != queue_.end(), "start_job: not queued");
+    queue_.erase(it);
+    admit(id, alloc);
+    started_.push_back(id);
+  }
+
+ private:
+  void admit(JobId id, const Allocation& alloc) {
+    cluster_.commit(alloc);
+    const Job& j = jobs_[id];
+    const double dilation = slowdown_.dilation_for(alloc, j);
+    RunningJob r;
+    r.id = id;
+    r.expected_end = now_ + j.walltime.scaled(dilation);
+    r.take = SchedulingSimulation::take_from_allocation(alloc, config_);
+    running_.push_back(r);
+  }
+
+  ClusterConfig config_;
+  std::vector<Job> jobs_;
+  Cluster cluster_;
+  SimTime now_{};
+  PlacementPolicy placement_{NodeSelection::kFirstFit,
+                             PoolRouting::kRackThenGlobal};
+  SlowdownModel slowdown_{};
+  QueueOrder order_ = QueueOrder::kFcfs;
+  std::vector<JobId> queue_;
+  std::vector<RunningJob> running_;
+  std::vector<JobId> started_;
+};
+
+}  // namespace dmsched::testing

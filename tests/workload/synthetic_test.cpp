@@ -1,0 +1,149 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dmsched {
+namespace {
+
+SyntheticSpec small_spec() {
+  SyntheticSpec spec;
+  spec.job_count = 500;
+  return spec;
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  const Trace a = generate_trace(small_spec(), 42);
+  const Trace b = generate_trace(small_spec(), 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (JobId i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.job(i).submit, b.job(i).submit);
+    EXPECT_EQ(a.job(i).nodes, b.job(i).nodes);
+    EXPECT_EQ(a.job(i).runtime, b.job(i).runtime);
+    EXPECT_EQ(a.job(i).mem_per_node, b.job(i).mem_per_node);
+    EXPECT_EQ(a.job(i).sensitivity, b.job(i).sensitivity);
+  }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  const Trace a = generate_trace(small_spec(), 1);
+  const Trace b = generate_trace(small_spec(), 2);
+  bool any_diff = false;
+  for (JobId i = 0; i < a.size() && !any_diff; ++i) {
+    any_diff = a.job(i).submit != b.job(i).submit ||
+               a.job(i).nodes != b.job(i).nodes;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, ProducesRequestedJobCount) {
+  EXPECT_EQ(generate_trace(small_spec(), 3).size(), 500u);
+}
+
+TEST(Synthetic, AllInvariantsHold) {
+  const Trace t = generate_trace(small_spec(), 7);
+  for (const Job& j : t.jobs()) {
+    EXPECT_GT(j.nodes, 0);
+    EXPECT_GT(j.runtime, SimTime{});
+    EXPECT_GE(j.walltime, j.runtime);
+    EXPECT_GT(j.mem_per_node, Bytes{0});
+  }
+}
+
+TEST(Synthetic, RuntimeRespectsClip) {
+  SyntheticSpec spec = small_spec();
+  spec.runtime_min_sec = 300.0;
+  spec.runtime_max_sec = 7200.0;
+  const Trace t = generate_trace(spec, 11);
+  for (const Job& j : t.jobs()) {
+    EXPECT_GE(j.runtime.seconds(), 300.0);
+    EXPECT_LE(j.runtime.seconds(), 7200.0);
+  }
+}
+
+TEST(Synthetic, NodesRespectBucketBounds) {
+  SyntheticSpec spec = small_spec();
+  spec.node_buckets = {{4, 32, 1.0}};
+  const Trace t = generate_trace(spec, 13);
+  for (const Job& j : t.jobs()) {
+    EXPECT_GE(j.nodes, 4);
+    EXPECT_LE(j.nodes, 32);
+  }
+}
+
+TEST(Synthetic, MemoryBandsRespectBounds) {
+  SyntheticSpec spec = small_spec();
+  spec.reference_node_mem = gib(std::int64_t{100});
+  spec.mem_bands = {{0.5, 0.8, 1.0}};
+  const Trace t = generate_trace(spec, 17);
+  for (const Job& j : t.jobs()) {
+    EXPECT_GE(j.mem_per_node.gib(), 50.0 - 1e-6);
+    EXPECT_LE(j.mem_per_node.gib(), 80.0 + 1e-6);
+  }
+}
+
+TEST(Synthetic, WalltimeRoundingApplies) {
+  SyntheticSpec spec = small_spec();
+  spec.walltime_rounding_sec = 900.0;
+  spec.walltime_exact_fraction = 0.0;
+  const Trace t = generate_trace(spec, 19);
+  std::size_t rounded = 0;
+  for (const Job& j : t.jobs()) {
+    const auto sec = static_cast<std::int64_t>(j.walltime.seconds());
+    if (sec % 900 == 0) ++rounded;
+  }
+  // All non-clamped walltimes are multiples of 15 min; clamping to runtime
+  // (rare) may break it, so require an overwhelming majority.
+  EXPECT_GE(rounded, t.size() * 9 / 10);
+}
+
+TEST(Synthetic, SubmissionsAreOrdered) {
+  const Trace t = generate_trace(small_spec(), 23);
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GE(t.jobs()[i].submit, t.jobs()[i - 1].submit);
+  }
+}
+
+TEST(Synthetic, SensitivityWeightsRespected) {
+  SyntheticSpec spec = small_spec();
+  spec.job_count = 3000;
+  spec.sensitivity_weights = {1.0, 0.0, 0.0};
+  const Trace t = generate_trace(spec, 29);
+  for (const Job& j : t.jobs()) {
+    EXPECT_EQ(j.sensitivity, MemSensitivity::kComputeBound);
+  }
+}
+
+TEST(Synthetic, TargetLoadIsHit) {
+  SyntheticSpec spec = small_spec();
+  spec.job_count = 2000;
+  const Trace t = generate_trace_with_load(spec, 31, 1024, 0.85);
+  EXPECT_NEAR(t.offered_load(1024), 0.85, 0.02);
+}
+
+TEST(Synthetic, TargetLoadWorksAcrossTargets) {
+  SyntheticSpec spec = small_spec();
+  spec.job_count = 2000;
+  for (const double load : {0.5, 1.0, 1.3}) {
+    const Trace t = generate_trace_with_load(spec, 37, 1024, load);
+    EXPECT_NEAR(t.offered_load(1024), load, 0.03) << "target " << load;
+  }
+}
+
+TEST(Synthetic, PoissonArrivalGapsLookExponential) {
+  SyntheticSpec spec = small_spec();
+  spec.job_count = 5000;
+  spec.diurnal_amplitude = 0.0;  // homogeneous
+  spec.arrival_rate_per_hour = 60.0;
+  const Trace t = generate_trace(spec, 41);
+  double sum_gap = 0.0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    sum_gap += (t.jobs()[i].submit - t.jobs()[i - 1].submit).seconds();
+  }
+  const double mean_gap = sum_gap / static_cast<double>(t.size() - 1);
+  EXPECT_NEAR(mean_gap, 60.0, 3.0);  // 60 jobs/h -> 60 s mean gap
+}
+
+}  // namespace
+}  // namespace dmsched

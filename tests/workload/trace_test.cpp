@@ -1,0 +1,113 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.hpp"
+
+namespace dmsched {
+namespace {
+
+using testing::job;
+using testing::trace_of;
+
+TEST(Trace, MakeSortsBySubmitAndReassignsIds) {
+  Trace t = trace_of({job(0).at_h(5.0), job(1).at_h(1.0), job(2).at_h(3.0)});
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.job(0).submit, seconds(3600.0));
+  EXPECT_EQ(t.job(1).submit, seconds(3.0 * 3600));
+  EXPECT_EQ(t.job(2).submit, seconds(5.0 * 3600));
+  for (JobId i = 0; i < 3; ++i) EXPECT_EQ(t.job(i).id, i);
+}
+
+TEST(Trace, StableSortPreservesEqualSubmitOrder) {
+  Trace t = trace_of({job(0).at_h(1.0).nodes(1), job(1).at_h(1.0).nodes(2)});
+  EXPECT_EQ(t.job(0).nodes, 1);
+  EXPECT_EQ(t.job(1).nodes, 2);
+}
+
+TEST(Trace, SpanMeasuresSubmitWindow) {
+  Trace t = trace_of({job(0).at_h(2.0), job(1).at_h(8.0)});
+  EXPECT_DOUBLE_EQ(t.span().hours(), 6.0);
+}
+
+TEST(Trace, SpanOfSingleJobIsZero) {
+  Trace t = trace_of({job(0).at_h(2.0)});
+  EXPECT_EQ(t.span(), SimTime{});
+}
+
+TEST(Trace, RebasedShiftsEpochToZero) {
+  Trace t = trace_of({job(0).at_h(10.0), job(1).at_h(12.0)}).rebased();
+  EXPECT_EQ(t.job(0).submit, SimTime{});
+  EXPECT_DOUBLE_EQ(t.job(1).submit.hours(), 2.0);
+}
+
+TEST(Trace, PrefixTakesFirstN) {
+  Trace t = trace_of({job(0).at_h(1.0), job(1).at_h(2.0), job(2).at_h(3.0)});
+  const Trace p = t.prefix(2);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.jobs().back().submit.hours(), 2.0);
+}
+
+TEST(Trace, PrefixBeyondSizeIsWholeTrace) {
+  Trace t = trace_of({job(0)});
+  EXPECT_EQ(t.prefix(100).size(), 1u);
+}
+
+TEST(Trace, ScaledArrivalsCompressesGaps) {
+  Trace t = trace_of({job(0).at_h(0.0), job(1).at_h(10.0)});
+  const Trace s = t.scaled_arrivals(0.5);
+  EXPECT_DOUBLE_EQ(s.span().hours(), 5.0);
+  // runtimes untouched
+  EXPECT_EQ(s.job(0).runtime, t.job(0).runtime);
+}
+
+TEST(Trace, ScaledArrivalsKeepsEpoch) {
+  Trace t = trace_of({job(0).at_h(4.0), job(1).at_h(8.0)});
+  const Trace s = t.scaled_arrivals(2.0);
+  EXPECT_DOUBLE_EQ(s.job(0).submit.hours(), 4.0);
+  EXPECT_DOUBLE_EQ(s.job(1).submit.hours(), 12.0);
+}
+
+TEST(Trace, OfferedLoadFormula) {
+  // two jobs × 4 nodes × 1 h over a 2 h span on 8 nodes: load = 8/(8*2)=0.5
+  Trace t = trace_of({job(0).at_h(0.0).nodes(4).runtime_h(1.0),
+                      job(1).at_h(2.0).nodes(4).runtime_h(1.0)});
+  EXPECT_DOUBLE_EQ(t.offered_load(8), 0.5);
+}
+
+TEST(Trace, OfferedLoadZeroSpan) {
+  Trace t = trace_of({job(0).at_h(1.0)});
+  EXPECT_DOUBLE_EQ(t.offered_load(8), 0.0);
+}
+
+TEST(Trace, JobAccessorOutOfRangeAborts) {
+  Trace t = trace_of({job(0)});
+  EXPECT_DEATH((void)t.job(5), "out of range");
+}
+
+TEST(Trace, RejectsNonPositiveNodes) {
+  Job bad = job(0);
+  bad.nodes = 0;
+  EXPECT_DEATH((void)trace_of({bad}), "nodes");
+}
+
+TEST(Trace, RejectsWalltimeBelowRuntime) {
+  Job bad = job(0).runtime_h(2.0);
+  bad.walltime = hours(1);
+  EXPECT_DEATH((void)trace_of({bad}), "walltime");
+}
+
+TEST(Trace, TotalMemAggregates) {
+  const Job j = job(0).nodes(4).mem_gib(32);
+  EXPECT_EQ(j.total_mem(), gib(std::int64_t{128}));
+}
+
+TEST(Trace, NodeSecondsHelpers) {
+  const Job j =
+      job(0).nodes(2).runtime_h(1.0).walltime_h(2.0);
+  EXPECT_DOUBLE_EQ(j.used_node_seconds(), 2 * 3600.0);
+  EXPECT_DOUBLE_EQ(j.requested_node_seconds(), 2 * 7200.0);
+}
+
+}  // namespace
+}  // namespace dmsched

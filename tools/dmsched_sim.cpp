@@ -1,0 +1,252 @@
+// dmsched_sim — the command-line simulator.
+//
+// One binary exposing the full public API surface: machine shape, workload
+// source (synthetic model or SWF file), scheduling policy and all its
+// knobs, the slowdown model, and CSV outputs for per-job records and the
+// system time series. Everything a study needs without writing C++.
+//
+//   dmsched-sim --workload capacity --scheduler mem-easy --local-gib 128
+//               --pool-gib 2048 --jobs 4000 --csv-jobs out.csv
+//   dmsched-sim --swf trace.swf --procs-per-node 16 --scheduler easy
+#include <cstdio>
+
+#include "cluster/system_config.hpp"
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/str.hpp"
+#include "core/engine.hpp"
+#include "core/experiment.hpp"
+#include "core/fairness.hpp"
+#include "workload/characterize.hpp"
+#include "workload/swf.hpp"
+#include "workload/transform.hpp"
+
+namespace {
+
+using namespace dmsched;
+
+void write_jobs_csv(const std::string& path, const RunMetrics& m) {
+  CsvWriter csv(path);
+  if (!csv.ok()) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  csv.header({"job", "user", "fate", "nodes", "mem_per_node_gib",
+              "submit_s", "start_s", "end_s", "wait_s", "runtime_s",
+              "dilation", "bsld", "far_rack_gib", "far_global_gib",
+              "sensitivity"});
+  for (const JobOutcome& o : m.jobs) {
+    const char* fate = o.fate == JobFate::kCompleted ? "completed"
+                       : o.fate == JobFate::kKilled  ? "killed"
+                                                     : "rejected";
+    csv.add(static_cast<std::size_t>(o.id))
+        .add(static_cast<std::int64_t>(o.user))
+        .add(fate)
+        .add(static_cast<std::int64_t>(o.nodes))
+        .add(o.mem_per_node.gib())
+        .add(o.submit.seconds());
+    if (o.fate == JobFate::kRejected) {
+      csv.add("").add("").add("");
+    } else {
+      csv.add(o.start.seconds()).add(o.end.seconds()).add(o.wait().seconds());
+    }
+    csv.add(o.runtime.seconds())
+        .add(o.dilation)
+        .add(o.fate == JobFate::kRejected ? 0.0 : o.bounded_slowdown())
+        .add(o.far_rack.gib())
+        .add(o.far_global.gib())
+        .add(to_string(o.sensitivity));
+    csv.end_row();
+  }
+}
+
+void write_series_csv(const std::string& path, const RunMetrics& m) {
+  CsvWriter csv(path);
+  if (!csv.ok()) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  csv.header({"time_s", "busy_nodes", "queued", "running",
+              "rack_pool_used_gib", "global_pool_used_gib"});
+  for (const TimeSample& s : m.series) {
+    csv.add(s.time.seconds())
+        .add(static_cast<std::int64_t>(s.busy_nodes))
+        .add(static_cast<std::int64_t>(s.queued_jobs))
+        .add(static_cast<std::int64_t>(s.running_jobs))
+        .add(s.rack_pool_used.gib())
+        .add(s.global_pool_used.gib());
+    csv.end_row();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dmsched;
+  Cli cli("dmsched_sim", "simulate a workload on a disaggregated machine");
+  // machine
+  cli.add_int("nodes", 1024, "total nodes");
+  cli.add_int("nodes-per-rack", 64, "nodes per rack");
+  cli.add_int("local-gib", 256, "local memory per node (GiB)");
+  cli.add_int("pool-gib", 0, "disaggregated pool per rack (GiB)");
+  cli.add_int("global-gib", 0, "cluster-global pool (GiB)");
+  // workload
+  cli.add_string("workload", "mixed",
+                 "synthetic model: capability|capacity|mixed");
+  cli.add_string("swf", "", "SWF trace file (overrides --workload)");
+  cli.add_int("procs-per-node", 1, "SWF processors per node");
+  cli.add_int("jobs", 4000, "synthetic job count / SWF job cap");
+  cli.add_int("seed", 42, "synthetic workload seed");
+  cli.add_double("load", 0.85, "synthetic offered load target");
+  cli.add_double("ref-mem-gib", 256.0,
+                 "reference node memory for synthetic footprints (GiB)");
+  cli.add_flag("exact-walltimes", "rewrite walltime requests to runtimes");
+  // scheduler
+  cli.add_string("scheduler", "mem-easy",
+                 "fcfs|easy|conservative|mem-easy|adaptive");
+  cli.add_string("queue-order", "fcfs", "fcfs|sjf|largest|wfp");
+  cli.add_string("selection", "pool-aware",
+                 "first-fit|pack-racks|spread-racks|pool-aware");
+  cli.add_string("routing", "rack-then-global",
+                 "rack-only|rack-then-global|global-only");
+  cli.add_string("backfill-order", "queue-order",
+                 "queue-order|shortest-first|best-mem-fit");
+  cli.add_int("reservation-depth", 1, "EASY-K protected reservations");
+  cli.add_double("adaptive-margin-sec", 0.0, "defer-vs-dilate hysteresis");
+  // slowdown model
+  cli.add_string("slowdown", "linear", "linear|saturating");
+  cli.add_double("beta-rack", 0.30, "rack-pool penalty coefficient");
+  cli.add_double("beta-global", 0.45, "global-pool penalty coefficient");
+  cli.add_double("gamma", 0.7, "saturating-model exponent");
+  // engine
+  cli.add_flag("kill-on-walltime", "enforce walltime limits");
+  cli.add_int("sample-interval-min", 0, "time-series sampling (0 = off)");
+  // outputs
+  cli.add_string("csv-jobs", "", "write per-job outcomes to this CSV");
+  cli.add_string("csv-series", "", "write the time series to this CSV");
+  cli.add_flag("fairness", "print the per-user fairness summary");
+  if (!cli.parse(argc, argv)) return 1;
+
+  ExperimentConfig config;
+  config.cluster = custom_config(
+      static_cast<std::int32_t>(cli.get_int("nodes")),
+      static_cast<std::int32_t>(cli.get_int("nodes-per-rack")),
+      gib(cli.get_int("local-gib")), gib(cli.get_int("pool-gib")),
+      gib(cli.get_int("global-gib")));
+  config.scheduler = scheduler_kind_from_string(cli.get_string("scheduler"));
+  config.mem_options.order = [&] {
+    const std::string s = cli.get_string("backfill-order");
+    if (s == "shortest-first") return BackfillOrder::kShortestFirst;
+    if (s == "best-mem-fit") return BackfillOrder::kBestMemFit;
+    return BackfillOrder::kQueueOrder;
+  }();
+  config.mem_options.reservation_depth =
+      static_cast<std::size_t>(cli.get_int("reservation-depth"));
+  config.mem_options.adaptive_margin_sec =
+      cli.get_double("adaptive-margin-sec");
+  config.engine.queue_order = [&] {
+    const std::string s = cli.get_string("queue-order");
+    if (s == "sjf") return QueueOrder::kShortestFirst;
+    if (s == "largest") return QueueOrder::kLargestFirst;
+    if (s == "wfp") return QueueOrder::kWfp;
+    return QueueOrder::kFcfs;
+  }();
+  config.engine.placement.selection = [&] {
+    const std::string s = cli.get_string("selection");
+    if (s == "first-fit") return NodeSelection::kFirstFit;
+    if (s == "pack-racks") return NodeSelection::kPackRacks;
+    if (s == "spread-racks") return NodeSelection::kSpreadRacks;
+    return NodeSelection::kPoolAware;
+  }();
+  config.engine.placement.routing = [&] {
+    const std::string s = cli.get_string("routing");
+    if (s == "rack-only") return PoolRouting::kRackOnly;
+    if (s == "global-only") return PoolRouting::kGlobalOnly;
+    return PoolRouting::kRackThenGlobal;
+  }();
+  config.engine.slowdown.kind = cli.get_string("slowdown") == "saturating"
+                                    ? SlowdownModel::Kind::kSaturating
+                                    : SlowdownModel::Kind::kLinear;
+  config.engine.slowdown.beta_rack = cli.get_double("beta-rack");
+  config.engine.slowdown.beta_global = cli.get_double("beta-global");
+  config.engine.slowdown.gamma = cli.get_double("gamma");
+  config.engine.kill_on_walltime = cli.get_flag("kill-on-walltime");
+  if (cli.get_int("sample-interval-min") > 0) {
+    config.engine.sample_interval = minutes(cli.get_int("sample-interval-min"));
+  }
+
+  Trace trace;
+  if (const std::string swf = cli.get_string("swf"); !swf.empty()) {
+    SwfOptions options;
+    options.procs_per_node =
+        static_cast<std::int32_t>(cli.get_int("procs-per-node"));
+    auto result = read_swf_file(swf, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n", result.error.c_str());
+      return 1;
+    }
+    std::printf("loaded %zu jobs from %s (%zu skipped, %zu malformed)\n",
+                result.jobs_accepted, swf.c_str(), result.jobs_skipped,
+                result.lines_malformed);
+    trace = result.trace.prefix(static_cast<std::size_t>(cli.get_int("jobs")));
+  } else {
+    config.model = workload_model_from_string(cli.get_string("workload"));
+    config.jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+    config.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    config.target_load = cli.get_double("load");
+    config.workload_reference_mem = gib(cli.get_double("ref-mem-gib"));
+    trace = make_workload(config);
+  }
+  if (cli.get_flag("exact-walltimes")) {
+    trace = with_exact_walltimes(trace);
+  }
+
+  const TraceStats stats =
+      characterize(trace, config.workload_reference_mem,
+                   config.cluster.total_nodes);
+  std::printf(
+      "workload: %zu jobs, %.1f h span, offered load %.2f, "
+      "mem/node p50 %.1f GiB, >local %.1f%%\n",
+      stats.job_count, stats.span_hours, stats.offered_load,
+      stats.mem_per_node_p50_gib, 100.0 * stats.frac_mem_above_full);
+  std::printf("machine : %s (%d nodes, %d racks, %s local, %s pool/rack, "
+              "%s global)\n",
+              config.cluster.name.c_str(), config.cluster.total_nodes,
+              config.cluster.racks(),
+              format_bytes(config.cluster.local_mem_per_node).c_str(),
+              format_bytes(config.cluster.pool_per_rack).c_str(),
+              format_bytes(config.cluster.global_pool).c_str());
+
+  const RunMetrics m = run_experiment(config, trace);
+
+  std::printf("\n=== %s ===\n", m.label.c_str());
+  std::printf("completed %zu, killed %zu, rejected %zu over %.1f h\n",
+              m.completed, m.killed, m.rejected, m.makespan.hours());
+  std::printf("wait      mean %.2f h, p95 %.2f h, max %.2f h\n",
+              m.mean_wait_hours, m.p95_wait_hours, m.max_wait_hours);
+  std::printf("bsld      mean %.2f, p95 %.2f\n", m.mean_bsld, m.p95_bsld);
+  std::printf("util      nodes %.1f%%, rack pools %.1f%% (peak %.1f%%), "
+              "global %.1f%%\n",
+              100.0 * m.node_utilization, 100.0 * m.rack_pool_utilization,
+              100.0 * m.rack_pool_peak, 100.0 * m.global_pool_utilization);
+  std::printf("far mem   %.1f%% of jobs, mean dilation %.3f, %.0f GiB·h\n",
+              100.0 * m.frac_jobs_far, m.mean_dilation, m.far_gib_hours);
+  std::printf("thruput   %.1f jobs/h\n", m.jobs_per_hour);
+
+  if (cli.get_flag("fairness")) {
+    const FairnessReport r = fairness_report(m);
+    std::printf("fairness  %zu users, Jain(bsld) %.3f, Jain(wait) %.3f, "
+                "max/min bsld %.1f, top-decile share %.1f%%\n",
+                r.users.size(), r.jain_bsld, r.jain_wait,
+                r.max_min_bsld_ratio, 100.0 * r.top_decile_node_share);
+  }
+  if (const std::string path = cli.get_string("csv-jobs"); !path.empty()) {
+    write_jobs_csv(path, m);
+    std::printf("wrote per-job outcomes to %s\n", path.c_str());
+  }
+  if (const std::string path = cli.get_string("csv-series"); !path.empty()) {
+    write_series_csv(path, m);
+    std::printf("wrote time series to %s\n", path.c_str());
+  }
+  return 0;
+}
