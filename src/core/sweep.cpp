@@ -1,6 +1,8 @@
 #include "core/sweep.hpp"
 
 #include <atomic>
+#include <exception>
+#include <mutex>
 #include <thread>
 
 #include "common/assert.hpp"
@@ -17,21 +19,35 @@ void parallel_for_index(std::size_t count, unsigned threads,
     return;
   }
   std::atomic<std::size_t> next{0};
+  // An exception escaping a jthread would std::terminate the process; capture
+  // the first one, drain the remaining indices, and rethrow on the caller's
+  // thread so parallel and serial execution have the same failure contract.
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   {
     std::vector<std::jthread> workers;
     const unsigned n = static_cast<unsigned>(
         std::min<std::size_t>(threads, count));
     workers.reserve(n);
     for (unsigned w = 0; w < n; ++w) {
-      workers.emplace_back([&next, count, &fn] {
+      workers.emplace_back([&next, count, &fn, &first_error, &error_mutex] {
         for (;;) {
           const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
           if (i >= count) return;
-          fn(i);
+          try {
+            fn(i);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+            // Claim all remaining work so every worker winds down promptly.
+            next.store(count, std::memory_order_relaxed);
+            return;
+          }
         }
       });
     }
   }  // jthread joins here
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 std::vector<RunMetrics> run_sweep(const std::vector<ExperimentConfig>& configs,

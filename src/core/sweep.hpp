@@ -25,6 +25,10 @@ namespace dmsched {
     unsigned threads = 0);
 
 /// Generic parallel map used by both entry points (exposed for tests).
+/// Visits every index in [0, count) exactly once. If `fn` throws, the pool
+/// winds down (remaining indices are abandoned) and the *first* exception is
+/// rethrown on the calling thread — the same failure contract as the serial
+/// path, so callers never see std::terminate from a worker.
 void parallel_for_index(std::size_t count, unsigned threads,
                         const std::function<void(std::size_t)>& fn);
 
