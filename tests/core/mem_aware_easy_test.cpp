@@ -5,6 +5,7 @@
 #include "cluster/system_config.hpp"
 #include "testing/builders.hpp"
 #include "testing/fake_context.hpp"
+#include "testing/lifecycle.hpp"
 
 namespace dmsched {
 namespace {
@@ -342,6 +343,12 @@ TEST(MemAwareEasy, EmptyQueueNoOp) {
   MemAwareEasyScheduler sched;
   sched.schedule(ctx);
   EXPECT_TRUE(ctx.started().empty());
+}
+
+
+TEST(MemAwareEasy, SessionLifecycleReleasesEverything) {
+  MemAwareEasyScheduler sched;
+  testing::run_lifecycle_scenario(sched);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include "cluster/system_config.hpp"
 #include "testing/builders.hpp"
 #include "testing/fake_context.hpp"
+#include "testing/lifecycle.hpp"
 
 namespace dmsched {
 namespace {
@@ -116,6 +117,12 @@ TEST(Conservative, EmptyQueueNoOp) {
   ConservativeScheduler sched;
   sched.schedule(ctx);
   EXPECT_TRUE(ctx.started().empty());
+}
+
+
+TEST(Conservative, SessionLifecycleReleasesEverything) {
+  ConservativeScheduler sched;
+  testing::run_lifecycle_scenario(sched);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include "cluster/system_config.hpp"
 #include "testing/builders.hpp"
 #include "testing/fake_context.hpp"
+#include "testing/lifecycle.hpp"
 
 namespace dmsched {
 namespace {
@@ -134,6 +135,12 @@ TEST(Easy, EmptyQueueNoOp) {
   EasyScheduler sched;
   sched.schedule(ctx);
   EXPECT_TRUE(ctx.started().empty());
+}
+
+
+TEST(Easy, SessionLifecycleReleasesEverything) {
+  EasyScheduler sched;
+  testing::run_lifecycle_scenario(sched);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include "testing/builders.hpp"
 #include "testing/fake_context.hpp"
+#include "testing/lifecycle.hpp"
 
 namespace dmsched {
 namespace {
@@ -86,6 +87,12 @@ TEST(Fcfs, EmptyQueueNoOp) {
   FcfsScheduler sched;
   sched.schedule(ctx);
   EXPECT_TRUE(ctx.started().empty());
+}
+
+
+TEST(Fcfs, SessionLifecycleReleasesEverything) {
+  FcfsScheduler sched;
+  testing::run_lifecycle_scenario(sched);
 }
 
 }  // namespace

@@ -71,14 +71,27 @@ inline Trace trace_of(std::vector<Job> jobs, std::string name = "test") {
   return Trace::make(std::move(jobs), std::move(name));
 }
 
+/// One-line machine builder: "N nodes, M GiB local, pool P (per rack),
+/// G global". Racks of 4 nodes (the last may be partial) so placement paths
+/// see multiple racks even on small machines.
+inline ClusterConfig machine(std::int32_t nodes, double local_gib,
+                             double rack_pool_gib = 0.0,
+                             double global_pool_gib = 0.0) {
+  ClusterConfig c;
+  c.name = "test";
+  c.total_nodes = nodes;
+  c.nodes_per_rack = 4;
+  c.local_mem_per_node = gib(local_gib);
+  c.pool_per_rack = gib(rack_pool_gib);
+  c.global_pool = gib(global_pool_gib);
+  return c;
+}
+
 /// A small machine: 4 racks × 4 nodes, 64 GiB local, with optional pools.
 inline ClusterConfig tiny_cluster(Bytes pool_per_rack = Bytes{0},
                                   Bytes global_pool = Bytes{0}) {
-  ClusterConfig c;
+  ClusterConfig c = machine(16, 64.0);
   c.name = "tiny";
-  c.total_nodes = 16;
-  c.nodes_per_rack = 4;
-  c.local_mem_per_node = gib(std::int64_t{64});
   c.pool_per_rack = pool_per_rack;
   c.global_pool = global_pool;
   return c;

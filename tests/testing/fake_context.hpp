@@ -108,4 +108,47 @@ class FakeContext final : public SchedContext {
   std::vector<JobId> started_;
 };
 
+/// Scoped simulated-time session around a FakeContext (à la a factory-context
+/// fixture): owns the context, advances now() monotonically, and re-runs
+/// Cluster::audit() after every advance *and* on teardown, so incremental
+/// bookkeeping that drifts from the occupancy map fails fast. (The audit
+/// checks ledger *consistency*, not emptiness — a test that must end drained
+/// still asserts free_nodes_total()/pool usage explicitly, as
+/// run_lifecycle_scenario does.)
+///
+///   SimSession s(machine(16, 64, /*rack_pool=*/32), {job(0), job(1)});
+///   s->enqueue(0);
+///   s.run_pass(*scheduler);
+///   s.advance_h(1.0);        // audit happens here
+///   s->finish(0);
+///                             // ...and again when s goes out of scope
+class SimSession {
+ public:
+  SimSession(ClusterConfig config, std::vector<Job> jobs)
+      : ctx_(std::move(config), std::move(jobs)) {}
+
+  SimSession(const SimSession&) = delete;
+  SimSession& operator=(const SimSession&) = delete;
+
+  ~SimSession() { ctx_.cluster().audit(); }
+
+  /// Move simulated time forward by `dt` (must be non-negative) and audit.
+  void advance(SimTime dt) {
+    DMSCHED_ASSERT(dt >= SimTime{0}, "SimSession: time must move forward");
+    ctx_.set_now(ctx_.now() + dt);
+    ctx_.cluster().audit();
+  }
+  void advance_h(double h) { advance(seconds(h * 3600.0)); }
+  void advance_s(double s) { advance(seconds(s)); }
+
+  /// Run one scheduling pass at the current time.
+  void run_pass(Scheduler& scheduler) { scheduler.schedule(ctx_); }
+
+  [[nodiscard]] FakeContext& ctx() { return ctx_; }
+  FakeContext* operator->() { return &ctx_; }
+
+ private:
+  FakeContext ctx_;
+};
+
 }  // namespace dmsched::testing

@@ -1,0 +1,36 @@
+// Shared full-lifecycle scenario for per-scheduler session tests: start two
+// jobs (one overflowing into a rack pool), hold them across audited time
+// advances, finish both, and verify the ledger drains to empty. One body,
+// every scheduler — a policy that leaks resources fails here identically.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.hpp"
+#include "testing/fake_context.hpp"
+
+namespace dmsched::testing {
+
+inline void run_lifecycle_scenario(Scheduler& sched) {
+  // 8 nodes in 2 racks, 64 GiB local, 32 GiB pool per rack. Job 0's four
+  // nodes overflow by 8 GiB each: exactly one rack pool, fully drawn.
+  SimSession s(machine(8, 64.0, /*rack_pool_gib=*/32.0),
+               {job(0).nodes(4).mem_gib(72).runtime_h(1),
+                job(1).nodes(4).mem_gib(16).runtime_h(2)});
+  s->enqueue(0);
+  s->enqueue(1);
+  s.run_pass(sched);
+  EXPECT_TRUE(s->was_started(0));
+  EXPECT_TRUE(s->was_started(1));
+  EXPECT_EQ(s->cluster().free_nodes_total(), 0);
+  EXPECT_FALSE(s->cluster().rack_pools_used().is_zero());
+  s.advance_h(1.0);
+  s->finish(0);
+  s.advance_h(1.0);
+  s->finish(1);
+  EXPECT_EQ(s->cluster().free_nodes_total(), 8);
+  EXPECT_TRUE(s->cluster().rack_pools_used().is_zero());
+  // the session audits the empty cluster once more at scope exit
+}
+
+}  // namespace dmsched::testing
