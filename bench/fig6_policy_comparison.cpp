@@ -1,46 +1,45 @@
-// Figure 6 — scheduling policy comparison on the headline machine.
+// Figure 6 — scheduling policy comparison across the scenario library.
 //
-// All five policies × all three workloads on dis-L128-P2048 under a single
-// shared trace per workload. Expected ordering on wait/bsld:
-// FCFS ≫ conservative ≳ EASY ≳ mem-easy ≈ adaptive, with the memory-aware
-// policies pulling ahead as pool pressure rises (capacity workload).
+// All five policies on every library scenario, each scenario under a single
+// shared trace, through the chunked sweep. Expected ordering on wait/bsld:
+// FCFS ≫ conservative ≳ EASY ≳ mem-easy ≈ adaptive on the easy scenarios,
+// with the memory-aware policies pulling decisively ahead where local
+// memory is scarce (memory-stressed, pool-contended) — the paper's core
+// claim. tests/golden/policy_discrimination_test.cpp enforces the
+// memory-stressed rows in CI.
 #include "bench_util.hpp"
 
 int main() {
   using namespace dmsched;
   using namespace dmsched::bench;
 
-  // Conservative's full-profile rebuild is O(window·breakpoints·racks) per
-  // event; trim the trace so the whole figure regenerates in seconds.
-  constexpr std::size_t kJobs = 3000;
-  const ClusterConfig machine = disaggregated_config(128, 2048);
-
-  ConsoleTable table("Figure 6 — policy comparison on " + machine.name);
-  table.columns({"workload", "scheduler", "mean wait (h)", "p95 wait",
-                 "mean bsld", "p95 bsld", "util", "far-jobs", "dilation"});
+  ConsoleTable table("Figure 6 — policy comparison across scenarios");
+  table.columns({"scenario", "scheduler", "makespan (h)", "mean wait (h)",
+                 "p95 wait", "mean bsld", "p95 bsld", "util", "far-jobs",
+                 "dilation"});
   auto csv = csv_for("fig6_policy_comparison");
-  csv.header({"workload", "scheduler", "mean_wait_h", "p95_wait_h",
-              "mean_bsld", "p95_bsld", "utilization", "frac_far",
-              "mean_dilation"});
+  csv.header({"scenario", "scheduler", "memory_aware", "makespan_h",
+              "mean_wait_h", "p95_wait_h", "mean_bsld", "p95_bsld",
+              "utilization", "frac_far", "mean_dilation"});
 
-  for (const WorkloadModel model : all_workload_models()) {
-    const Trace trace = eval_trace(model, kJobs);
+  for (const std::string& name : scenario_names()) {
+    const Scenario scenario = make_scenario(name);
     std::vector<ExperimentConfig> configs;
     for (const SchedulerKind kind : all_scheduler_kinds()) {
-      auto c = eval_config(machine, kind, model);
-      c.jobs = kJobs;
-      configs.push_back(std::move(c));
+      configs.push_back(scenario_experiment(scenario, kind));
     }
-    const auto results = run_sweep_on_trace(configs, trace);
+    const auto results = run_sweep_on_trace(configs, scenario.trace);
     for (std::size_t i = 0; i < results.size(); ++i) {
       const RunMetrics& m = results[i];
       const SchedulerKind kind = all_scheduler_kinds()[i];
-      table.row({to_string(model), to_string(kind), f2(m.mean_wait_hours),
-                 f2(m.p95_wait_hours), f2(m.mean_bsld), f2(m.p95_bsld),
-                 pct(m.node_utilization), pct(m.frac_jobs_far),
-                 f3(m.mean_dilation)});
-      csv.add(to_string(model))
+      table.row({scenario.info.name, to_string(kind), f1(m.makespan.hours()),
+                 f2(m.mean_wait_hours), f2(m.p95_wait_hours), f2(m.mean_bsld),
+                 f2(m.p95_bsld), pct(m.node_utilization),
+                 pct(m.frac_jobs_far), f3(m.mean_dilation)});
+      csv.add(scenario.info.name)
           .add(to_string(kind))
+          .add(std::int64_t{make_scheduler(kind)->memory_aware() ? 1 : 0})
+          .add(m.makespan.hours())
           .add(m.mean_wait_hours)
           .add(m.p95_wait_hours)
           .add(m.mean_bsld)

@@ -1,8 +1,12 @@
-// Side-by-side comparison of every scheduling policy on one workload —
-// the fastest way to see what memory-awareness buys.
+// Side-by-side comparison of every scheduling policy on one library
+// scenario — the fastest way to see what memory-awareness buys. Defaults to
+// the memory-stressed scenario, where the policies genuinely separate.
+//
+//   ./policy_compare                         # memory-stressed
+//   ./policy_compare --scenario pool-contended --jobs 300
 #include <cstdio>
+#include <stdexcept>
 
-#include "cluster/system_config.hpp"
 #include "common/cli.hpp"
 #include "common/str.hpp"
 #include "common/table.hpp"
@@ -10,40 +14,46 @@
 
 int main(int argc, char** argv) {
   using namespace dmsched;
-  Cli cli("policy_compare", "all schedulers, one workload, one machine");
-  cli.add_string("model", "capacity", "workload: capability|capacity|mixed");
-  cli.add_int("jobs", 2000, "jobs per simulation");
-  cli.add_int("local-gib", 128, "local memory per node (GiB)");
-  cli.add_int("pool-gib", 2048, "rack pool size (GiB)");
-  cli.add_double("beta", 0.3, "far-memory slowdown coefficient");
+  Cli cli("policy_compare", "all schedulers, one scenario");
+  cli.add_string("scenario", "memory-stressed",
+                 "library scenario (see dmsched-sim --list-scenarios)");
+  cli.add_int("jobs", 0, "job count override (0 = scenario default)");
+  cli.add_int("seed", 0, "seed override (0 = scenario default)");
   if (!cli.parse(argc, argv)) return 1;
+
+  if (cli.get_int("jobs") < 0 || cli.get_int("seed") < 0) {
+    std::fprintf(stderr, "error: --jobs/--seed must be >= 0\n");
+    return 1;
+  }
+  Scenario scenario;
+  try {
+    ScenarioParams params;
+    params.jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+    params.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    scenario = make_scenario(cli.get_string("scenario"), params);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("%s — %s\nexpected: %s\n\n", scenario.info.name.c_str(),
+              scenario.info.summary.c_str(),
+              scenario.info.expected_ordering.c_str());
 
   std::vector<ExperimentConfig> sweep;
   for (const SchedulerKind kind : all_scheduler_kinds()) {
-    ExperimentConfig config;
-    config.cluster = disaggregated_config(cli.get_int("local-gib"),
-                                          cli.get_int("pool-gib"));
-    config.scheduler = kind;
-    config.model = workload_model_from_string(cli.get_string("model"));
-    config.jobs = static_cast<std::size_t>(cli.get_int("jobs"));
-    config.seed = 99;
-    config.target_load = 0.9;
-    config.engine.slowdown.beta_rack = cli.get_double("beta");
-    config.engine.slowdown.beta_global = 1.5 * cli.get_double("beta");
-    sweep.push_back(std::move(config));
+    sweep.push_back(scenario_experiment(scenario, kind));
   }
-  const Trace trace = make_workload(sweep.front());
-  const auto results = run_sweep_on_trace(sweep, trace);
+  const auto results = run_sweep_on_trace(sweep, scenario.trace);
 
-  ConsoleTable table(strformat("policy comparison — %s, %lld jobs, beta=%.2f",
-                               cli.get_string("model").c_str(),
-                               static_cast<long long>(cli.get_int("jobs")),
-                               cli.get_double("beta")));
-  table.columns({"scheduler", "wait (h)", "p95 wait", "bsld", "p95 bsld",
-                 "util %", "dilation", "far-jobs %"});
+  ConsoleTable table(strformat("policy comparison — %s, %zu jobs",
+                               scenario.info.name.c_str(),
+                               scenario.trace.size()));
+  table.columns({"scheduler", "makespan (h)", "wait (h)", "p95 wait", "bsld",
+                 "p95 bsld", "util %", "dilation", "far-jobs %"});
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& m = results[i];
     table.row({to_string(all_scheduler_kinds()[i]),
+               strformat("%.1f", m.makespan.hours()),
                strformat("%.2f", m.mean_wait_hours),
                strformat("%.2f", m.p95_wait_hours),
                strformat("%.2f", m.mean_bsld),

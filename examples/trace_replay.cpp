@@ -4,12 +4,11 @@
 //
 //   ./trace_replay --swf /path/to/trace.swf [--procs-per-node 16]
 //
-// Without --swf the example generates a capacity-model trace, exports it to
-// SWF, re-imports it, and replays that — demonstrating the full round trip
-// so the example runs out of the box with no downloads.
+// Without --swf the example replays the library's `mixed-swf` scenario (the
+// bundled SWF fixture replicated onto a memory-tight 12-node machine), so it
+// runs out of the box with no downloads.
 #include <cstdio>
-#include <fstream>
-#include <sstream>
+#include <utility>
 
 #include "cluster/system_config.hpp"
 #include "common/cli.hpp"
@@ -22,17 +21,24 @@
 int main(int argc, char** argv) {
   using namespace dmsched;
   Cli cli("trace_replay", "replay an SWF trace under several schedulers");
-  cli.add_string("swf", "", "path to an SWF trace (empty: self-generated)");
+  cli.add_string("swf", "", "path to an SWF trace (empty: mixed-swf scenario)");
   cli.add_int("procs-per-node", 16, "processors per node for SWF conversion");
-  cli.add_int("max-jobs", 3000, "cap on replayed jobs");
+  cli.add_int("max-jobs", 0,
+              "with --swf: cap on replayed jobs (0 = no cap); without: "
+              "mixed-swf job-count target (0 = scenario default of 240)");
   if (!cli.parse(argc, argv)) return 1;
-
-  SwfOptions swf_options;
-  swf_options.procs_per_node =
-      static_cast<std::int32_t>(cli.get_int("procs-per-node"));
+  if (cli.get_int("max-jobs") < 0) {
+    std::fprintf(stderr, "error: --max-jobs must be >= 0\n");
+    return 1;
+  }
 
   Trace trace;
+  ClusterConfig machine;
+  Bytes reference_mem = gib(std::int64_t{256});
   if (const std::string path = cli.get_string("swf"); !path.empty()) {
+    SwfOptions swf_options;
+    swf_options.procs_per_node =
+        static_cast<std::int32_t>(cli.get_int("procs-per-node"));
     auto result = read_swf_file(path, swf_options);
     if (!result.ok()) {
       std::fprintf(stderr, "error: %s\n", result.error.c_str());
@@ -42,25 +48,23 @@ int main(int argc, char** argv) {
                 result.jobs_accepted, result.jobs_skipped,
                 result.lines_malformed);
     trace = std::move(result.trace);
+    if (const auto cap = cli.get_int("max-jobs"); cap > 0) {
+      trace = trace.prefix(static_cast<std::size_t>(cap));
+    }
+    machine = disaggregated_config(128, 2048);
   } else {
-    // Round trip: generate -> write SWF -> read SWF.
-    const ClusterConfig machine = reference_config();
-    const Trace generated = make_model_trace(
-        WorkloadModel::kCapacity, static_cast<std::size_t>(cli.get_int("max-jobs")),
-        /*seed=*/7, machine.total_nodes, machine.local_mem_per_node,
-        /*target_load=*/0.85);
-    std::stringstream buffer;
-    swf_options.procs_per_node = 1;
-    write_swf(buffer, generated, swf_options);
-    auto result = read_swf(buffer, swf_options, "roundtrip.swf");
-    std::printf("round-tripped %zu jobs through SWF\n", result.jobs_accepted);
-    trace = std::move(result.trace);
+    const Scenario scenario = make_scenario(
+        "mixed-swf",
+        {.jobs = static_cast<std::size_t>(cli.get_int("max-jobs"))});
+    std::printf("scenario: %s — %s\n", scenario.info.name.c_str(),
+                scenario.info.summary.c_str());
+    trace = scenario.trace;
+    machine = scenario.cluster;
+    reference_mem = scenario.workload_reference_mem;
   }
-  trace = trace.prefix(static_cast<std::size_t>(cli.get_int("max-jobs")));
 
-  const ClusterConfig machine = disaggregated_config(128, 2048);
   const TraceStats stats =
-      characterize(trace, gib(std::int64_t{256}), machine.total_nodes);
+      characterize(trace, reference_mem, machine.total_nodes);
   std::printf("trace: %zu jobs, %.1f h span, load %.2f, "
               "mem/node p50 %.1f GiB (p95 %.1f GiB)\n\n",
               stats.job_count, stats.span_hours, stats.offered_load,
@@ -75,6 +79,7 @@ int main(int argc, char** argv) {
     ExperimentConfig config;
     config.cluster = machine;
     config.scheduler = kind;
+    config.workload_reference_mem = reference_mem;
     const RunMetrics m = run_experiment(config, trace);
     table.row({to_string(kind), strformat("%.2f", m.mean_wait_hours),
                strformat("%.2f", m.p95_wait_hours),

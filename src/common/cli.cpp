@@ -69,6 +69,7 @@ bool Cli::assign(const std::string& key, const std::string& value) {
       break;
   }
   it->second.value = value;
+  it->second.provided = true;
   return true;
 }
 
@@ -97,6 +98,7 @@ bool Cli::parse(int argc, const char* const* argv) {
     auto it = options_.find(key);
     if (it != options_.end() && it->second.kind == Kind::kFlag) {
       it->second.value = "true";
+      it->second.provided = true;
       continue;
     }
     if (i + 1 >= argc) {
@@ -136,6 +138,12 @@ double Cli::get_double(const std::string& key) const {
 
 bool Cli::get_flag(const std::string& key) const {
   return find(key, Kind::kFlag)->value == "true";
+}
+
+bool Cli::provided(const std::string& key) const {
+  auto it = options_.find(key);
+  DMSCHED_ASSERT(it != options_.end(), "Cli: option was never registered");
+  return it->second.provided;
 }
 
 std::string Cli::usage() const {

@@ -39,6 +39,11 @@ class Cli {
   [[nodiscard]] double get_double(const std::string& key) const;
   [[nodiscard]] bool get_flag(const std::string& key) const;
 
+  /// True if the user supplied the option on the command line (vs. the
+  /// registered default). Lets composite options (e.g. --scenario) apply
+  /// their own defaults without being overridden by unrelated ones.
+  [[nodiscard]] bool provided(const std::string& key) const;
+
   /// Usage text.
   [[nodiscard]] std::string usage() const;
 
@@ -49,6 +54,7 @@ class Cli {
     std::string value;  // canonical textual value
     std::string default_value;
     std::string help;
+    bool provided = false;  // set during parse()
   };
   std::string program_;
   std::string description_;

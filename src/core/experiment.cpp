@@ -22,4 +22,19 @@ RunMetrics run_experiment(const ExperimentConfig& config, const Trace& trace) {
   return metrics;
 }
 
+ExperimentConfig scenario_experiment(const Scenario& scenario,
+                                     SchedulerKind kind) {
+  ExperimentConfig c;
+  c.label = scenario.info.name + "/" + to_string(kind);
+  c.cluster = scenario.cluster;
+  c.scheduler = kind;
+  c.jobs = scenario.trace.size();
+  c.workload_reference_mem = scenario.workload_reference_mem;
+  return c;
+}
+
+RunMetrics run_scenario(const Scenario& scenario, SchedulerKind kind) {
+  return run_experiment(scenario_experiment(scenario, kind), scenario.trace);
+}
+
 }  // namespace dmsched

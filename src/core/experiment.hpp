@@ -8,6 +8,7 @@
 #include "core/engine.hpp"
 #include "core/factory.hpp"
 #include "workload/models.hpp"
+#include "workload/scenarios.hpp"
 
 namespace dmsched {
 
@@ -40,5 +41,17 @@ struct ExperimentConfig {
 /// sharing one generated trace across many configs).
 [[nodiscard]] RunMetrics run_experiment(const ExperimentConfig& config,
                                         const Trace& trace);
+
+/// An experiment for `kind` on a library scenario's machine and workload
+/// (label "scenario/scheduler"). Pair the result with the scenario's trace:
+/// `run_experiment(cfg, scenario.trace)` or `run_sweep_on_trace` — the
+/// synthetic-model fields of the returned config are *not* a substitute for
+/// the scenario trace (trace-seeded scenarios have no generating model).
+[[nodiscard]] ExperimentConfig scenario_experiment(const Scenario& scenario,
+                                                   SchedulerKind kind);
+
+/// Convenience: run one scheduler on one scenario.
+[[nodiscard]] RunMetrics run_scenario(const Scenario& scenario,
+                                      SchedulerKind kind);
 
 }  // namespace dmsched

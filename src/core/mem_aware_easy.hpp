@@ -58,6 +58,7 @@ class MemAwareEasyScheduler final : public Scheduler {
   [[nodiscard]] const char* name() const override {
     return options_.adaptive ? "adaptive" : "mem-easy";
   }
+  [[nodiscard]] bool memory_aware() const override { return true; }
   void schedule(SchedContext& ctx) override;
 
  private:

@@ -3,9 +3,15 @@
 // Simulation runs are independent, so sweeps parallelize embarrassingly.
 // Following the CP.* concurrency guidelines: no shared mutable state between
 // workers (each owns its slot in the results vector), RAII threads
-// (std::jthread), work distribution through a single atomic counter.
+// (std::jthread), work distribution through an atomic chunk counter.
+//
+// Determinism contract: every index writes only its own pre-sized result
+// slot and no result depends on which worker ran it or in what order, so
+// sweep output is byte-identical across thread counts and chunk sizes.
+// tests/golden/ enforces this.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <vector>
 
@@ -13,22 +19,52 @@
 
 namespace dmsched {
 
+/// How a sweep distributes work across threads.
+struct SweepOptions {
+  /// Worker count. 0 means hardware concurrency.
+  unsigned threads = 0;
+  /// Indices claimed per atomic grab. At production scale (thousands of
+  /// configs) larger chunks cut counter contention; 1 reproduces the old
+  /// index-at-a-time behaviour. 0 picks a size automatically so each worker
+  /// sees several chunks (load balance) while grabs stay rare (contention).
+  std::size_t chunk = 0;
+};
+
 /// Run every experiment (each generating its own workload) and return
-/// metrics in input order. `threads == 0` means hardware concurrency.
+/// metrics in input order.
 [[nodiscard]] std::vector<RunMetrics> run_sweep(
-    const std::vector<ExperimentConfig>& configs, unsigned threads = 0);
+    const std::vector<ExperimentConfig>& configs, const SweepOptions& options);
 
 /// Run every experiment against one shared trace (comparisons on identical
 /// workloads). The trace must outlive the call.
 [[nodiscard]] std::vector<RunMetrics> run_sweep_on_trace(
     const std::vector<ExperimentConfig>& configs, const Trace& trace,
+    const SweepOptions& options);
+
+/// Back-compat conveniences: `threads` only, automatic chunking.
+[[nodiscard]] std::vector<RunMetrics> run_sweep(
+    const std::vector<ExperimentConfig>& configs, unsigned threads = 0);
+[[nodiscard]] std::vector<RunMetrics> run_sweep_on_trace(
+    const std::vector<ExperimentConfig>& configs, const Trace& trace,
     unsigned threads = 0);
 
-/// Generic parallel map used by both entry points (exposed for tests).
-/// Visits every index in [0, count) exactly once. If `fn` throws, the pool
-/// winds down (remaining indices are abandoned) and the *first* exception is
-/// rethrown on the calling thread — the same failure contract as the serial
-/// path, so callers never see std::terminate from a worker.
+/// The chunk size `parallel_for_chunked` uses when `options.chunk == 0`:
+/// count / (8 × threads), clamped to [1, 64]. Exposed so tests can pin the
+/// heuristic's invariants (never 0, never starves a worker).
+[[nodiscard]] std::size_t auto_chunk_size(std::size_t count, unsigned threads);
+
+/// Generic parallel map over [0, count): workers claim contiguous chunks of
+/// `options.chunk` indices from one atomic counter and visit every index
+/// exactly once. Ordering between chunks is unspecified; correctness must
+/// not depend on it. If `fn` throws, the pool winds down (remaining chunks
+/// are abandoned, the throwing worker's own chunk is abandoned mid-way) and
+/// the *first* exception is rethrown on the calling thread — the same
+/// failure contract as the serial path, so callers never see std::terminate
+/// from a worker.
+void parallel_for_chunked(std::size_t count, const SweepOptions& options,
+                          const std::function<void(std::size_t)>& fn);
+
+/// Index-at-a-time compatibility wrapper: chunk size 1 (exposed for tests).
 void parallel_for_index(std::size_t count, unsigned threads,
                         const std::function<void(std::size_t)>& fn);
 

@@ -54,6 +54,12 @@ class Scheduler {
  public:
   virtual ~Scheduler() = default;
   [[nodiscard]] virtual const char* name() const = 0;
+  /// Scenario-metadata hook: does the policy consult memory/pool state when
+  /// planning? The scenario library's expected-ordering claims (and the
+  /// fig. 6 policy-discrimination suite) group policies by this, so a new
+  /// memory-aware policy that forgets to override it will be tested against
+  /// the wrong expectations.
+  [[nodiscard]] virtual bool memory_aware() const { return false; }
   virtual void schedule(SchedContext& ctx) = 0;
 };
 

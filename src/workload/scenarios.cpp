@@ -1,0 +1,298 @@
+#include "workload/scenarios.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "workload/models.hpp"
+#include "workload/swf.hpp"
+#include "workload/transform.hpp"
+
+namespace dmsched {
+
+namespace {
+
+/// Per-scenario defaults, applied wherever ScenarioParams leaves a zero.
+struct ScenarioDefaults {
+  std::size_t jobs = 0;
+  std::uint64_t seed = 0;
+  double load = 0.0;
+};
+
+ScenarioParams resolve(const ScenarioParams& params,
+                       const ScenarioDefaults& defaults) {
+  ScenarioParams r = params;
+  if (r.jobs == 0) r.jobs = defaults.jobs;
+  if (r.seed == 0) r.seed = defaults.seed;
+  if (r.load == 0.0) r.load = defaults.load;
+  return r;
+}
+
+ClusterConfig make_cluster(std::string name, std::int32_t nodes,
+                           std::int32_t per_rack, std::int64_t local_gib,
+                           std::int64_t pool_gib, std::int64_t global_gib) {
+  ClusterConfig c;
+  c.name = std::move(name);
+  c.total_nodes = nodes;
+  c.nodes_per_rack = per_rack;
+  c.local_mem_per_node = gib(local_gib);
+  c.pool_per_rack = gib(pool_gib);
+  c.global_pool = gib(global_gib);
+  return c;
+}
+
+/// One synthetic-model scenario: the shared shape of most entries.
+Scenario model_scenario(ClusterConfig cluster, WorkloadModel model,
+                        Bytes reference_mem, const ScenarioParams& p) {
+  Scenario s;
+  s.cluster = std::move(cluster);
+  s.workload_reference_mem = reference_mem;
+  s.trace = make_model_trace(model, p.jobs, p.seed, s.cluster.total_nodes,
+                             reference_mem, p.load);
+  return s;
+}
+
+// --- scenario factories -----------------------------------------------------
+// Each factory receives already-resolved params and must be deterministic in
+// them: identical params => byte-identical Trace and ClusterConfig.
+
+/// The PR-1 golden scenario, unchanged: the machine/workload whose RunMetrics
+/// are pinned in tests/golden/. Oversubscribed mixed workload on a tiny
+/// pooled machine; exercises the pools but barely separates the policies.
+Scenario build_golden_baseline(const ScenarioParams& p) {
+  ClusterConfig c = make_cluster("tiny", 16, 4, 64, 32, 128);
+  return model_scenario(std::move(c), WorkloadModel::kMixed,
+                        gib(std::int64_t{96}), p);
+}
+
+/// Local memory scarce relative to footprints AND the pools under pressure —
+/// the regime where the paper's fig. 6 separates memory-aware EASY from the
+/// node-only baseline. Capacity workload (memory-hungry, narrow) whose
+/// footprints were sized for 96 GiB nodes, run on 40 GiB nodes with modest
+/// rack pools: most jobs overflow, backfills compete with the queue head for
+/// pool bytes, and EASY's node-only shadow makes visibly different (worse)
+/// decisions than the 2-D reservation.
+Scenario build_memory_stressed(const ScenarioParams& p) {
+  ClusterConfig c = make_cluster("mem-stress", 32, 8, 40, 96, 128);
+  return model_scenario(std::move(c), WorkloadModel::kCapacity,
+                        gib(std::int64_t{96}), p);
+}
+
+/// Ample local memory but deliberately small rack pools and no global tier:
+/// the disaggregated pool itself is the bottleneck, so pool routing and
+/// pool-aware reservations dominate. Backs the pool-size sweep (fig. 4).
+Scenario build_pool_contended(const ScenarioParams& p) {
+  ClusterConfig c = make_cluster("pool-contended", 64, 16, 128, 192, 0);
+  return model_scenario(std::move(c), WorkloadModel::kCapacity,
+                        gib(std::int64_t{192}), p);
+}
+
+/// Mixed workload with arrivals quantized into 2-hour waves: every job in a
+/// window submits at the window start, so the queue fills in bursts and
+/// drains between them. Stresses backfill depth and reservation churn the
+/// way diurnal submission spikes do.
+Scenario build_bursty_arrivals(const ScenarioParams& p) {
+  Scenario s =
+      model_scenario(make_cluster("bursty", 32, 8, 96, 96, 96),
+                     WorkloadModel::kMixed, gib(std::int64_t{96}), p);
+  constexpr double kBurstSec = 2.0 * 3600.0;
+  s.trace = map_trace(s.trace, [](Job j) {
+    j.submit = seconds(std::floor(j.submit.seconds() / kBurstSec) * kBurstSec);
+    return j;
+  });
+  return s;
+}
+
+/// Capability-center workload: wide, long jobs whose aggregate footprints
+/// land on many racks at once. Exercises multi-rack placement and the
+/// global pool as overflow for jobs sized beyond 192 GiB nodes.
+Scenario build_wide_jobs(const ScenarioParams& p) {
+  ClusterConfig c = make_cluster("wide-jobs", 128, 16, 192, 512, 1024);
+  return model_scenario(std::move(c), WorkloadModel::kCapability,
+                        gib(std::int64_t{256}), p);
+}
+
+/// The bundled SWF fixture (tests/data/sample.swf), embedded so the scenario
+/// needs no file path, replicated via `map_trace` into a longer trace on a
+/// 12-node machine whose local memory is below the trace's largest
+/// footprints. Demonstrates the SWF-to-scenario path end-to-end.
+/// tests/workload/scenarios_test.cpp asserts this copy stays identical to
+/// the on-disk fixture.
+constexpr const char* kSampleSwf = R"(; Sample SWF trace bundled with the DMSched test suite.
+; 30 completed jobs on a machine with 4-core nodes; submissions span
+; 0..6300 s. Format: PWA SWF v2.2 (18 fields, see src/workload/swf.cpp).
+; MaxProcs: 48
+; Note: memory fields are KB per processor.
+1 0 -1 3600 8 -1 4194304 8 4000 4194304 1 1 1 1 1 1 -1 -1
+2 180 -1 1200 4 -1 1048576 4 1800 1048576 1 2 1 1 1 1 -1 -1
+3 420 -1 7200 16 -1 2097152 16 7200 2097152 1 3 1 1 1 1 -1 -1
+4 600 -1 300 1 -1 -1 1 600 -1 1 1 1 1 1 1 -1 -1
+5 840 -1 5400 32 -1 1048576 32 7200 1048576 1 4 1 1 1 1 -1 -1
+6 900 -1 900 12 -1 524288 12 1200 524288 1 2 1 1 1 1 -1 -1
+7 1080 -1 10800 48 -1 2097152 48 14400 2097152 1 5 1 1 1 1 -1 -1
+8 1260 -1 600 2 -1 -1 2 900 -1 1 1 1 1 1 1 -1 -1
+9 1500 -1 4800 24 -1 1048576 24 6000 1048576 1 3 1 1 1 1 -1 -1
+10 1620 -1 2400 8 -1 4194304 8 3600 4194304 1 2 1 1 1 1 -1 -1
+11 1800 -1 1800 4 -1 524288 4 2400 524288 1 4 1 1 1 1 -1 -1
+12 2040 -1 9000 40 -1 1048576 40 10800 1048576 1 5 1 1 1 1 -1 -1
+13 2160 -1 3000 16 -1 2097152 16 3600 2097152 1 1 1 1 1 1 -1 -1
+14 2400 -1 450 6 -1 -1 6 600 -1 1 2 1 1 1 1 -1 -1
+15 2520 -1 6600 20 -1 1048576 20 7200 1048576 1 3 1 1 1 1 -1 -1
+16 2700 -1 1500 8 -1 524288 8 1800 524288 1 4 1 1 1 1 -1 -1
+17 2940 -1 8100 28 -1 2097152 28 9000 2097152 1 5 1 1 1 1 -1 -1
+18 3120 -1 750 3 -1 -1 3 900 -1 1 1 1 1 1 1 -1 -1
+19 3300 -1 7800 36 -1 1048576 36 9000 1048576 1 2 1 1 1 1 -1 -1
+20 3480 -1 2100 10 -1 4194304 10 2400 4194304 1 3 1 1 1 1 -1 -1
+21 3600 -1 3300 14 -1 524288 14 3600 524288 1 4 1 1 1 1 -1 -1
+22 3840 -1 9600 44 -1 1048576 44 10800 1048576 1 5 1 1 1 1 -1 -1
+23 4020 -1 1050 5 -1 -1 5 1200 -1 1 1 1 1 1 1 -1 -1
+24 4200 -1 5100 18 -1 2097152 18 6000 2097152 1 2 1 1 1 1 -1 -1
+25 4500 -1 2700 9 -1 1048576 9 3600 1048576 1 3 1 1 1 1 -1 -1
+26 4740 -1 6900 26 -1 524288 26 7200 524288 1 4 1 1 1 1 -1 -1
+27 4980 -1 1350 7 -1 -1 7 1800 -1 1 5 1 1 1 1 -1 -1
+28 5280 -1 8400 30 -1 2097152 30 9000 2097152 1 1 1 1 1 1 -1 -1
+29 5580 -1 1950 11 -1 1048576 11 2400 1048576 1 2 1 1 1 1 -1 -1
+30 6300 -1 4200 22 -1 524288 22 4800 524288 1 3 1 1 1 1 -1 -1
+)";
+
+Scenario build_mixed_swf(const ScenarioParams& p) {
+  Scenario s;
+  // 48 processors at 4 per node => 12 nodes; per-node footprints reach
+  // 16 GiB, above the 12 GiB of local memory, so the replay needs the pools.
+  s.cluster = make_cluster("mixed-swf", 12, 4, 12, 24, 32);
+  s.workload_reference_mem = s.cluster.local_mem_per_node;
+
+  SwfOptions options;
+  options.procs_per_node = 4;
+  std::istringstream in(kSampleSwf);
+  const SwfResult base = read_swf(in, options, "sample.swf");
+
+  // Replicate the 30-job day via map_trace: copy k is shifted by k periods
+  // so replicas tile without overlapping bursts. (Div/mod ceil instead of
+  // the add-then-divide idiom: huge job requests must not wrap to zero
+  // replicas and an empty trace.)
+  const std::size_t base_jobs = base.trace.size();
+  const std::size_t replicas =
+      p.jobs / base_jobs + (p.jobs % base_jobs != 0 ? 1 : 0);
+  constexpr std::int64_t kPeriodSec = 7200;
+  std::vector<Job> jobs;
+  jobs.reserve(replicas * base.trace.size());
+  for (std::size_t k = 0; k < replicas; ++k) {
+    const SimTime shift = seconds(kPeriodSec * static_cast<std::int64_t>(k));
+    const Trace copy = map_trace(base.trace, [shift](Job j) {
+      j.submit = j.submit + shift;
+      return j;
+    });
+    for (const Job& j : copy.jobs()) jobs.push_back(j);
+  }
+  Trace replicated = Trace::make(std::move(jobs), "mixed-swf");
+  replicated = replicated.prefix(p.jobs);
+  // Land the replay at the requested offered load by scaling arrival gaps.
+  const double current = replicated.offered_load(s.cluster.total_nodes);
+  if (current > 0.0 && p.load > 0.0) {
+    replicated = replicated.scaled_arrivals(current / p.load);
+  }
+  s.trace = std::move(replicated);
+  return s;
+}
+
+// --- the registry -----------------------------------------------------------
+
+struct ScenarioEntry {
+  ScenarioInfo info;
+  ScenarioDefaults defaults;
+  Scenario (*build)(const ScenarioParams&);
+};
+
+const std::vector<ScenarioEntry>& registry() {
+  static const std::vector<ScenarioEntry> entries = {
+      {{"golden-baseline",
+        "the PR-1 golden scenario: oversubscribed mixed workload on the tiny "
+        "pooled machine (pinned in tests/golden/)",
+        "table 3 (regression baseline)",
+        "FCFS worst; EASY/mem-easy/adaptive nearly tied (little pressure)"},
+       {400, 20240726, 1.1},
+       &build_golden_baseline},
+      {{"memory-stressed",
+        "capacity workload sized for 96 GiB nodes on 40 GiB nodes with "
+        "modest pools: local memory scarce, pools under pressure",
+        "fig. 6 / table 3",
+        "mem-easy and adaptive beat EASY (different makespans); FCFS worst"},
+       {500, 7, 1.05},
+       &build_memory_stressed},
+      {{"pool-contended",
+        "ample local memory but small rack pools and no global tier: the "
+        "disaggregated pool is the bottleneck",
+        "fig. 4",
+        "pool-aware policies ahead; EASY starves pool-blocked queue heads"},
+       {600, 11, 1.0},
+       &build_pool_contended},
+      {{"bursty-arrivals",
+        "mixed workload with arrivals quantized into 2-hour waves: queue "
+        "fills in bursts and drains between them",
+        "fig. 7 (pool timeline under spikes)",
+        "backfilling policies (EASY family) far ahead of FCFS; memory-aware "
+        "variants ahead on the burst peaks"},
+       {500, 13, 0.9},
+       &build_bursty_arrivals},
+      {{"wide-jobs",
+        "capability workload: wide, long jobs spanning many racks, global "
+        "pool as overflow",
+        "fig. 8 (class breakdown, capability column)",
+        "conservative close to EASY (few backfill holes); memory-awareness "
+        "secondary"},
+       {400, 17, 0.9},
+       &build_wide_jobs},
+      {{"mixed-swf",
+        "the bundled 30-job SWF fixture replicated onto a 12-node machine "
+        "with 12 GiB local memory (footprints reach 16 GiB)",
+        "table 1 (trace-driven validation)",
+        "mem-easy at or ahead of EASY; exercises the SWF import path"},
+       {240, 1, 1.2},
+       &build_mixed_swf},
+  };
+  return entries;
+}
+
+const ScenarioEntry& find_entry(const std::string& name) {
+  for (const ScenarioEntry& e : registry()) {
+    if (e.info.name == name) return e;
+  }
+  std::string known;
+  for (const ScenarioEntry& e : registry()) {
+    if (!known.empty()) known += ", ";
+    known += e.info.name;
+  }
+  throw std::invalid_argument("unknown scenario \"" + name +
+                              "\" (known: " + known + ")");
+}
+
+}  // namespace
+
+std::vector<std::string> scenario_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const ScenarioEntry& e : registry()) names.push_back(e.info.name);
+  return names;
+}
+
+bool scenario_exists(const std::string& name) {
+  for (const ScenarioEntry& e : registry()) {
+    if (e.info.name == name) return true;
+  }
+  return false;
+}
+
+const ScenarioInfo& scenario_info(const std::string& name) {
+  return find_entry(name).info;
+}
+
+Scenario make_scenario(const std::string& name, const ScenarioParams& params) {
+  const ScenarioEntry& entry = find_entry(name);
+  Scenario s = entry.build(resolve(params, entry.defaults));
+  s.info = entry.info;
+  return s;
+}
+
+}  // namespace dmsched

@@ -1,0 +1,77 @@
+// The scenario library: named, deterministic Trace + ClusterConfig bundles.
+//
+// Every experiment surface (dmsched-sim, benches, examples, tests) selects
+// standard scenarios from this registry by name, so "the memory-stressed
+// scenario" means exactly the same jobs on exactly the same machine
+// everywhere — the precondition for comparing policies across tools and for
+// pinning golden metrics. docs/SCENARIOS.md documents each scenario's
+// intent, parameters, the paper figure it backs, and the expected policy
+// ordering.
+//
+// Layering note: this is the one workload/ file that sits *below* cluster/
+// in the dependency order (it bundles machines with traces). It may include
+// workload/ and cluster/ but nothing further down; see src/README.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "workload/trace.hpp"
+
+namespace dmsched {
+
+/// Tunable knobs accepted by every scenario factory. Zero/empty means "use
+/// the scenario's published default", so default-constructed params always
+/// reproduce the documented scenario bit-for-bit.
+struct ScenarioParams {
+  /// Job count (synthetic scenarios: generated count; trace-seeded
+  /// scenarios: replicated-then-truncated count).
+  std::size_t jobs = 0;
+  /// Workload seed (ignored by trace-seeded scenarios with no randomness).
+  std::uint64_t seed = 0;
+  /// Offered-load target against the scenario machine.
+  double load = 0.0;
+};
+
+/// Registry metadata: what a scenario is for, before paying to build it.
+struct ScenarioInfo {
+  std::string name;
+  std::string summary;
+  /// Which paper figure/table the scenario backs (e.g. "fig. 6 / table 3").
+  std::string paper_figure;
+  /// The policy ordering the scenario is designed to exhibit, as a
+  /// human-readable claim (validated by tests/golden/).
+  std::string expected_ordering;
+};
+
+/// A fully built scenario: the machine, the workload, and the reference
+/// node size its footprints were scaled against.
+struct Scenario {
+  ScenarioInfo info;
+  ClusterConfig cluster;
+  /// Reference node-local memory the workload's footprints are expressed
+  /// against (may exceed the machine's actual local memory — that gap is
+  /// the memory pressure).
+  Bytes workload_reference_mem{};
+  Trace trace;
+};
+
+/// All registered scenario names, in registry (documentation) order.
+[[nodiscard]] std::vector<std::string> scenario_names();
+
+/// True if `name` is a registered scenario.
+[[nodiscard]] bool scenario_exists(const std::string& name);
+
+/// Metadata for one scenario without building its trace.
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] const ScenarioInfo& scenario_info(const std::string& name);
+
+/// Build a scenario by name. Deterministic: the same (name, params) always
+/// produces byte-identical traces and configs.
+/// Throws std::invalid_argument (listing the known names) for unknown names.
+[[nodiscard]] Scenario make_scenario(const std::string& name,
+                                     const ScenarioParams& params = {});
+
+}  // namespace dmsched

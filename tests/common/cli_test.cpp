@@ -95,6 +95,25 @@ TEST(Cli, UsageListsOptionsAndDefaults) {
   EXPECT_NE(usage.find("test program"), std::string::npos);
 }
 
+TEST(Cli, ProvidedDistinguishesDefaultsFromExplicitValues) {
+  Cli cli = make_cli();
+  // Explicitly passing the default value still counts as provided — the
+  // user said it, even if it changes nothing.
+  const std::array argv{"prog", "--count", "5", "--verbose"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.provided("count"));
+  EXPECT_TRUE(cli.provided("verbose"));
+  EXPECT_FALSE(cli.provided("name"));
+  EXPECT_FALSE(cli.provided("rate"));
+}
+
+TEST(Cli, ProvidedUnregisteredAborts) {
+  Cli cli = make_cli();
+  const std::array argv{"prog"};
+  ASSERT_TRUE(cli.parse(1, argv.data()));
+  EXPECT_DEATH((void)cli.provided("nope"), "never registered");
+}
+
 TEST(Cli, UnregisteredGetAborts) {
   Cli cli = make_cli();
   const std::array argv{"prog"};

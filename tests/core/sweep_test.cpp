@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 
 #include "cluster/system_config.hpp"
 #include "testing/builders.hpp"
@@ -72,6 +73,80 @@ TEST(Sweep, LabelPropagates) {
   config.label = "my-label";
   const auto results = run_sweep({config}, 1);
   EXPECT_EQ(results[0].label, "my-label");
+}
+
+TEST(Sweep, AutoChunkSizeInvariants) {
+  // Never zero, never above the cap, and serial-ish inputs stay fine-grained
+  // so small sweeps still load-balance across workers.
+  EXPECT_EQ(auto_chunk_size(0, 4), 1u);
+  EXPECT_EQ(auto_chunk_size(1, 4), 1u);
+  EXPECT_EQ(auto_chunk_size(5, 4), 1u);       // fewer items than 8×threads
+  EXPECT_EQ(auto_chunk_size(64, 4), 2u);      // 64 / (8·4)
+  EXPECT_EQ(auto_chunk_size(1'000'000, 4), 64u);  // capped
+  for (const std::size_t count : {std::size_t{7}, std::size_t{100},
+                                  std::size_t{4096}, std::size_t{100'000}}) {
+    for (const unsigned threads : {1u, 3u, 16u}) {
+      const std::size_t chunk = auto_chunk_size(count, threads);
+      EXPECT_GE(chunk, 1u);
+      EXPECT_LE(chunk, 64u);
+    }
+  }
+}
+
+TEST(Sweep, ChunkedCoversAllIndicesForEveryChunkSize) {
+  constexpr std::size_t kCount = 257;  // prime: never divides evenly
+  // 300 exceeds the count; SIZE_MAX would overflow a naive ceil-divide.
+  for (const std::size_t chunk :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{13},
+        std::size_t{64}, std::size_t{300}, SIZE_MAX}) {
+    std::vector<std::atomic<int>> hits(kCount);
+    parallel_for_chunked(kCount, SweepOptions{4, chunk},
+                         [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "chunk " << chunk << " index " << i;
+    }
+  }
+}
+
+TEST(Sweep, ChunkedPropagatesExceptionsMidChunk) {
+  // A throw from the middle of a chunk abandons the rest of that chunk and
+  // the remaining chunks, and reaches the caller.
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      parallel_for_chunked(100, SweepOptions{4, 16},
+                           [&](std::size_t i) {
+                             ran.fetch_add(1);
+                             if (i == 20) throw std::runtime_error("boom");
+                           }),
+      std::runtime_error);
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), 100);
+}
+
+TEST(Sweep, ChunkSizeDoesNotChangeResults) {
+  const std::vector<ExperimentConfig> configs = {
+      small_config(SchedulerKind::kFcfs),
+      small_config(SchedulerKind::kEasy),
+      small_config(SchedulerKind::kConservative),
+      small_config(SchedulerKind::kMemAwareEasy),
+      small_config(SchedulerKind::kAdaptive)};
+  const Trace trace = make_workload(configs.front());
+  const auto serial =
+      run_sweep_on_trace(configs, trace, SweepOptions{1, 1});
+  for (const std::size_t chunk : {std::size_t{0}, std::size_t{2},
+                                  std::size_t{3}, std::size_t{100}}) {
+    const auto chunked =
+        run_sweep_on_trace(configs, trace, SweepOptions{0, chunk});
+    ASSERT_EQ(chunked.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(chunked[i].makespan.usec(), serial[i].makespan.usec())
+          << "chunk " << chunk << " config " << i;
+      EXPECT_EQ(chunked[i].mean_wait_hours, serial[i].mean_wait_hours)
+          << "chunk " << chunk << " config " << i;
+      EXPECT_EQ(chunked[i].completed, serial[i].completed)
+          << "chunk " << chunk << " config " << i;
+    }
+  }
 }
 
 }  // namespace

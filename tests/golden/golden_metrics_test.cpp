@@ -70,30 +70,25 @@ constexpr GoldenRecord kGolden[] = {
      0.09183447035361747, 1.0119433527782502, 0.18732782369146006},
 };
 
-ExperimentConfig golden_config(SchedulerKind kind) {
-  ExperimentConfig c;
+// The golden machine/workload is the scenario library's "golden-baseline"
+// (src/workload/scenarios.cpp): a 96-GiB-reference mixed workload on the
+// 64-GiB tiny pooled machine, so a solid share of jobs overflow into the
+// pools. Sourcing it from the registry pins the library and this table to
+// each other — a scenario drift trips the suite exactly like an engine
+// drift.
+ExperimentConfig golden_config(const Scenario& scenario, SchedulerKind kind) {
+  ExperimentConfig c = scenario_experiment(scenario, kind);
   c.label = to_string(kind);
-  c.cluster = testing::tiny_cluster(gib(std::int64_t{32}),
-                                    gib(std::int64_t{128}));
-  // Size footprints against a 96-GiB reference node on a 64-GiB machine:
-  // a solid share of jobs overflow into the pools, so the memory-aware
-  // policies genuinely diverge from the node-only baselines.
-  c.workload_reference_mem = gib(std::int64_t{96});
-  c.scheduler = kind;
-  c.model = WorkloadModel::kMixed;
-  c.jobs = 400;
-  c.seed = 20240726;
-  c.target_load = 1.1;
   // Every golden run doubles as a cluster-invariant audit (O(nodes) per
   // completion — cheap at 16 nodes, priceless as a regression net).
   c.engine.audit_cluster = true;
   return c;
 }
 
-std::vector<ExperimentConfig> golden_configs() {
+std::vector<ExperimentConfig> golden_configs(const Scenario& scenario) {
   std::vector<ExperimentConfig> configs;
   for (const GoldenRecord& rec : kGolden) {
-    configs.push_back(golden_config(rec.scheduler));
+    configs.push_back(golden_config(scenario, rec.scheduler));
   }
   return configs;
 }
@@ -178,27 +173,27 @@ void print_regen_table(const std::vector<RunMetrics>& results) {
 class GoldenMetricsTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    configs_ = new std::vector<ExperimentConfig>(golden_configs());
-    trace_ = new Trace(make_workload((*configs_)[0]));
+    scenario_ = new Scenario(make_scenario("golden-baseline"));
+    configs_ = new std::vector<ExperimentConfig>(golden_configs(*scenario_));
     serial_ = new std::vector<RunMetrics>(
-        run_sweep_on_trace(*configs_, *trace_, /*threads=*/1));
+        run_sweep_on_trace(*configs_, scenario_->trace, /*threads=*/1));
   }
   static void TearDownTestSuite() {
     delete serial_;
-    delete trace_;
     delete configs_;
+    delete scenario_;
     serial_ = nullptr;
-    trace_ = nullptr;
     configs_ = nullptr;
+    scenario_ = nullptr;
   }
 
+  static Scenario* scenario_;
   static std::vector<ExperimentConfig>* configs_;
-  static Trace* trace_;
   static std::vector<RunMetrics>* serial_;
 };
 
+Scenario* GoldenMetricsTest::scenario_ = nullptr;
 std::vector<ExperimentConfig>* GoldenMetricsTest::configs_ = nullptr;
-Trace* GoldenMetricsTest::trace_ = nullptr;
 std::vector<RunMetrics>* GoldenMetricsTest::serial_ = nullptr;
 
 TEST_F(GoldenMetricsTest, MatchesPinnedValues) {
@@ -212,8 +207,24 @@ TEST_F(GoldenMetricsTest, MatchesPinnedValues) {
   }
 }
 
+TEST_F(GoldenMetricsTest, ScenarioMachineStaysPinned) {
+  // The golden table is only meaningful on the published machine; a scenario
+  // edit that moves it must regenerate the table (and say why).
+  const ClusterConfig expected = testing::tiny_cluster(
+      gib(std::int64_t{32}), gib(std::int64_t{128}));
+  EXPECT_EQ(scenario_->cluster.total_nodes, expected.total_nodes);
+  EXPECT_EQ(scenario_->cluster.nodes_per_rack, expected.nodes_per_rack);
+  EXPECT_EQ(scenario_->cluster.local_mem_per_node,
+            expected.local_mem_per_node);
+  EXPECT_EQ(scenario_->cluster.pool_per_rack, expected.pool_per_rack);
+  EXPECT_EQ(scenario_->cluster.global_pool, expected.global_pool);
+  EXPECT_EQ(scenario_->workload_reference_mem, gib(std::int64_t{96}));
+  EXPECT_EQ(scenario_->trace.size(), 400u);
+}
+
 TEST_F(GoldenMetricsTest, RepeatedRunIsByteIdentical) {
-  const auto again = run_sweep_on_trace(*configs_, *trace_, /*threads=*/1);
+  const auto again =
+      run_sweep_on_trace(*configs_, scenario_->trace, /*threads=*/1);
   ASSERT_EQ(again.size(), serial_->size());
   for (std::size_t i = 0; i < again.size(); ++i) {
     SCOPED_TRACE(to_string(kGolden[i].scheduler));
@@ -223,7 +234,7 @@ TEST_F(GoldenMetricsTest, RepeatedRunIsByteIdentical) {
 
 TEST_F(GoldenMetricsTest, HardwareThreadsMatchSerial) {
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  const auto parallel = run_sweep_on_trace(*configs_, *trace_, hw);
+  const auto parallel = run_sweep_on_trace(*configs_, scenario_->trace, hw);
   ASSERT_EQ(parallel.size(), serial_->size());
   for (std::size_t i = 0; i < parallel.size(); ++i) {
     SCOPED_TRACE(to_string(kGolden[i].scheduler));
@@ -233,12 +244,30 @@ TEST_F(GoldenMetricsTest, HardwareThreadsMatchSerial) {
 
 TEST_F(GoldenMetricsTest, OddThreadCountMatchesSerial) {
   // A thread count that does not divide the config count exercises the
-  // work-stealing counter's remainder handling.
-  const auto parallel = run_sweep_on_trace(*configs_, *trace_, 3);
+  // chunk counter's remainder handling.
+  const auto parallel = run_sweep_on_trace(*configs_, scenario_->trace, 3);
   ASSERT_EQ(parallel.size(), serial_->size());
   for (std::size_t i = 0; i < parallel.size(); ++i) {
     SCOPED_TRACE(to_string(kGolden[i].scheduler));
     expect_byte_identical((*serial_)[i], parallel[i]);
+  }
+}
+
+TEST_F(GoldenMetricsTest, ExplicitChunkSizesMatchSerial) {
+  // Chunked work distribution must never perturb results: every chunk size
+  // (dividing, non-dividing, larger than the config count) is byte-identical
+  // to the serial sweep.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{3}, std::size_t{64}}) {
+    const auto parallel = run_sweep_on_trace(*configs_, scenario_->trace,
+                                             SweepOptions{hw, chunk});
+    ASSERT_EQ(parallel.size(), serial_->size());
+    for (std::size_t i = 0; i < parallel.size(); ++i) {
+      SCOPED_TRACE(::testing::Message()
+                   << to_string(kGolden[i].scheduler) << " chunk " << chunk);
+      expect_byte_identical((*serial_)[i], parallel[i]);
+    }
   }
 }
 

@@ -1,0 +1,177 @@
+// The scenario registry: name resolution, the unknown-name error path,
+// determinism of every scenario across constructions, and parameter
+// overrides. Engine-level properties (policy discrimination, golden pins)
+// live in tests/golden/.
+#include "workload/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "workload/swf.hpp"
+
+namespace dmsched {
+namespace {
+
+void expect_same_trace(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "job " << i);
+    EXPECT_EQ(a.jobs()[i].submit.usec(), b.jobs()[i].submit.usec());
+    EXPECT_EQ(a.jobs()[i].nodes, b.jobs()[i].nodes);
+    EXPECT_EQ(a.jobs()[i].mem_per_node, b.jobs()[i].mem_per_node);
+    EXPECT_EQ(a.jobs()[i].runtime.usec(), b.jobs()[i].runtime.usec());
+    EXPECT_EQ(a.jobs()[i].walltime.usec(), b.jobs()[i].walltime.usec());
+    EXPECT_EQ(a.jobs()[i].sensitivity, b.jobs()[i].sensitivity);
+    EXPECT_EQ(a.jobs()[i].user, b.jobs()[i].user);
+  }
+}
+
+TEST(ScenarioRegistry, ListsTheStandardLibrary) {
+  const auto names = scenario_names();
+  const std::vector<std::string> expected = {
+      "golden-baseline", "memory-stressed", "pool-contended",
+      "bursty-arrivals", "wide-jobs",       "mixed-swf"};
+  EXPECT_EQ(names, expected);
+  for (const std::string& name : names) {
+    EXPECT_TRUE(scenario_exists(name)) << name;
+    const ScenarioInfo& info = scenario_info(name);
+    EXPECT_EQ(info.name, name);
+    EXPECT_FALSE(info.summary.empty()) << name;
+    EXPECT_FALSE(info.paper_figure.empty()) << name;
+    EXPECT_FALSE(info.expected_ordering.empty()) << name;
+  }
+}
+
+TEST(ScenarioRegistry, UnknownNameThrowsListingKnownNames) {
+  EXPECT_FALSE(scenario_exists("no-such-scenario"));
+  EXPECT_THROW((void)scenario_info("no-such-scenario"), std::invalid_argument);
+  try {
+    (void)make_scenario("no-such-scenario");
+    FAIL() << "make_scenario must throw for unknown names";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-scenario"), std::string::npos);
+    // The message must teach the caller the valid names.
+    EXPECT_NE(what.find("memory-stressed"), std::string::npos);
+    EXPECT_NE(what.find("golden-baseline"), std::string::npos);
+  }
+}
+
+TEST(ScenarioRegistry, EveryScenarioIsDeterministic) {
+  for (const std::string& name : scenario_names()) {
+    SCOPED_TRACE(name);
+    const Scenario a = make_scenario(name);
+    const Scenario b = make_scenario(name);
+    EXPECT_FALSE(a.trace.empty());
+    EXPECT_EQ(a.cluster.total_nodes, b.cluster.total_nodes);
+    EXPECT_EQ(a.cluster.nodes_per_rack, b.cluster.nodes_per_rack);
+    EXPECT_EQ(a.cluster.local_mem_per_node, b.cluster.local_mem_per_node);
+    EXPECT_EQ(a.cluster.pool_per_rack, b.cluster.pool_per_rack);
+    EXPECT_EQ(a.cluster.global_pool, b.cluster.global_pool);
+    EXPECT_EQ(a.workload_reference_mem, b.workload_reference_mem);
+    expect_same_trace(a.trace, b.trace);
+  }
+}
+
+TEST(ScenarioRegistry, EveryScenarioShapeIsValid) {
+  for (const std::string& name : scenario_names()) {
+    SCOPED_TRACE(name);
+    const Scenario s = make_scenario(name);
+    s.cluster.validate();  // aborts on degenerate shapes
+    EXPECT_GT(s.trace.size(), 0u);
+    EXPECT_FALSE(s.workload_reference_mem.is_zero());
+  }
+}
+
+TEST(ScenarioParamsTest, JobCountOverrideApplies) {
+  const Scenario s = make_scenario("memory-stressed", {.jobs = 50});
+  EXPECT_EQ(s.trace.size(), 50u);
+  const Scenario swf = make_scenario("mixed-swf", {.jobs = 30});
+  EXPECT_EQ(swf.trace.size(), 30u);
+  // Replication rounds up to whole copies, then truncates.
+  const Scenario swf2 = make_scenario("mixed-swf", {.jobs = 45});
+  EXPECT_EQ(swf2.trace.size(), 45u);
+}
+
+TEST(ScenarioParamsTest, SeedOverrideChangesSyntheticWorkloads) {
+  const Scenario a = make_scenario("memory-stressed");
+  const Scenario b = make_scenario("memory-stressed", {.seed = 999});
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    if (a.trace.jobs()[i].runtime != b.trace.jobs()[i].runtime ||
+        a.trace.jobs()[i].nodes != b.trace.jobs()[i].nodes) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ScenarioParamsTest, DefaultParamsAreTheDocumentedDefaults) {
+  // Zero-valued params must reproduce the published scenario exactly.
+  const Scenario a = make_scenario("golden-baseline");
+  const Scenario b = make_scenario("golden-baseline", ScenarioParams{});
+  expect_same_trace(a.trace, b.trace);
+}
+
+TEST(MixedSwfScenario, StressesLocalMemory) {
+  const Scenario s = make_scenario("mixed-swf");
+  std::size_t above_local = 0;
+  for (const Job& j : s.trace.jobs()) {
+    if (j.mem_per_node > s.cluster.local_mem_per_node) ++above_local;
+  }
+  EXPECT_GT(above_local, 0u) << "replay no longer needs the pools";
+}
+
+TEST(MixedSwfScenario, EmbeddedFixtureMatchesTheBundledSwfFile) {
+  // The scenario embeds a copy of tests/data/sample.swf so it needs no file
+  // path at runtime; this pins the copy to the on-disk fixture. Arrival
+  // times are load-scaled by the scenario, so compare the shape fields.
+  SwfOptions options;
+  options.procs_per_node = 4;
+  const SwfResult file =
+      read_swf_file(std::string(DMSCHED_TEST_DATA_DIR) + "/sample.swf",
+                    options);
+  ASSERT_TRUE(file.ok()) << file.error;
+  const Scenario s = make_scenario("mixed-swf", {.jobs = 30});
+  ASSERT_EQ(s.trace.size(), file.trace.size());
+  for (std::size_t i = 0; i < s.trace.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "job " << i);
+    EXPECT_EQ(s.trace.jobs()[i].nodes, file.trace.jobs()[i].nodes);
+    EXPECT_EQ(s.trace.jobs()[i].mem_per_node,
+              file.trace.jobs()[i].mem_per_node);
+    EXPECT_EQ(s.trace.jobs()[i].runtime.usec(),
+              file.trace.jobs()[i].runtime.usec());
+    EXPECT_EQ(s.trace.jobs()[i].walltime.usec(),
+              file.trace.jobs()[i].walltime.usec());
+    EXPECT_EQ(s.trace.jobs()[i].user, file.trace.jobs()[i].user);
+  }
+}
+
+TEST(MemoryStressedScenario, LocalMemoryIsScarce) {
+  const Scenario s = make_scenario("memory-stressed");
+  // The scenario's whole point: reference memory well above the machine's
+  // local memory, so a large population needs the pools.
+  EXPECT_GT(s.workload_reference_mem, s.cluster.local_mem_per_node * 2);
+  std::size_t above_local = 0;
+  for (const Job& j : s.trace.jobs()) {
+    if (j.mem_per_node > s.cluster.local_mem_per_node) ++above_local;
+  }
+  EXPECT_GT(above_local, s.trace.size() / 4);
+}
+
+TEST(BurstyArrivalsScenario, ArrivalsLandOnBurstBoundaries) {
+  const Scenario s = make_scenario("bursty-arrivals");
+  constexpr std::int64_t kBurstUsec = std::int64_t{2} * 3600 * 1'000'000;
+  for (const Job& j : s.trace.jobs()) {
+    EXPECT_EQ(j.submit.usec() % kBurstUsec, 0)
+        << "job " << j.id << " submits off-boundary";
+  }
+  // More than one burst, or the scenario degenerated into a single spike.
+  EXPECT_GT(s.trace.span().usec(), 0);
+}
+
+}  // namespace
+}  // namespace dmsched

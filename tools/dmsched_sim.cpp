@@ -8,7 +8,11 @@
 //   dmsched-sim --workload capacity --scheduler mem-easy --local-gib 128
 //               --pool-gib 2048 --jobs 4000 --csv-jobs out.csv
 //   dmsched-sim --swf trace.swf --procs-per-node 16 --scheduler easy
+//   dmsched-sim --scenario memory-stressed --scheduler easy --csv-jobs out.csv
+//   dmsched-sim --list-scenarios
 #include <cstdio>
+#include <optional>
+#include <stdexcept>
 
 #include "cluster/system_config.hpp"
 #include "common/cli.hpp"
@@ -18,6 +22,7 @@
 #include "core/experiment.hpp"
 #include "core/fairness.hpp"
 #include "workload/characterize.hpp"
+#include "workload/scenarios.hpp"
 #include "workload/swf.hpp"
 #include "workload/transform.hpp"
 
@@ -93,6 +98,10 @@ int main(int argc, char** argv) {
   // workload
   cli.add_string("workload", "mixed",
                  "synthetic model: capability|capacity|mixed");
+  cli.add_string("scenario", "",
+                 "library scenario (machine + workload; see --list-scenarios; "
+                 "non-zero --jobs/--seed/--load override its defaults)");
+  cli.add_flag("list-scenarios", "list the scenario library and exit");
   cli.add_string("swf", "", "SWF trace file (overrides --workload)");
   cli.add_int("procs-per-node", 1, "SWF processors per node");
   cli.add_int("jobs", 4000, "synthetic job count / SWF job cap");
@@ -127,12 +136,62 @@ int main(int argc, char** argv) {
   cli.add_flag("fairness", "print the per-user fairness summary");
   if (!cli.parse(argc, argv)) return 1;
 
+  if (cli.get_flag("list-scenarios")) {
+    for (const std::string& name : scenario_names()) {
+      const ScenarioInfo& info = scenario_info(name);
+      std::printf("%-18s %s\n", name.c_str(), info.summary.c_str());
+      std::printf("%-18s backs %s; expected: %s\n", "", info.paper_figure.c_str(),
+                  info.expected_ordering.c_str());
+    }
+    return 0;
+  }
+
+  // A library scenario supplies machine + workload; explicitly provided
+  // --jobs/--seed/--load override its defaults (zero keeps the scenario
+  // default — ScenarioParams' sentinel), other machine/workload flags are
+  // ignored.
+  std::optional<Scenario> scenario;
+  if (const std::string name = cli.get_string("scenario"); !name.empty()) {
+    if (cli.provided("swf")) {
+      std::fprintf(stderr,
+                   "error: --scenario and --swf are mutually exclusive "
+                   "(a scenario brings its own workload)\n");
+      return 1;
+    }
+    if (cli.get_int("jobs") < 0 || cli.get_int("seed") < 0 ||
+        cli.get_double("load") < 0.0) {
+      std::fprintf(stderr, "error: --jobs/--seed/--load must be >= 0\n");
+      return 1;
+    }
+    ScenarioParams params;
+    if (cli.provided("jobs")) {
+      params.jobs = static_cast<std::size_t>(cli.get_int("jobs"));
+    }
+    if (cli.provided("seed")) {
+      params.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+      if (params.seed == 0) {
+        std::fprintf(stderr,
+                     "warning: --seed 0 means the scenario's default seed "
+                     "(0 is the \"unset\" sentinel); use another seed for a "
+                     "distinct workload\n");
+      }
+    }
+    if (cli.provided("load")) params.load = cli.get_double("load");
+    try {
+      scenario = make_scenario(name, params);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
+
   ExperimentConfig config;
-  config.cluster = custom_config(
-      static_cast<std::int32_t>(cli.get_int("nodes")),
-      static_cast<std::int32_t>(cli.get_int("nodes-per-rack")),
-      gib(cli.get_int("local-gib")), gib(cli.get_int("pool-gib")),
-      gib(cli.get_int("global-gib")));
+  config.cluster = scenario ? scenario->cluster
+                            : custom_config(
+          static_cast<std::int32_t>(cli.get_int("nodes")),
+          static_cast<std::int32_t>(cli.get_int("nodes-per-rack")),
+          gib(cli.get_int("local-gib")), gib(cli.get_int("pool-gib")),
+          gib(cli.get_int("global-gib")));
   config.scheduler = scheduler_kind_from_string(cli.get_string("scheduler"));
   config.mem_options.order = [&] {
     const std::string s = cli.get_string("backfill-order");
@@ -176,7 +235,12 @@ int main(int argc, char** argv) {
   }
 
   Trace trace;
-  if (const std::string swf = cli.get_string("swf"); !swf.empty()) {
+  if (scenario) {
+    trace = scenario->trace;
+    config.workload_reference_mem = scenario->workload_reference_mem;
+    std::printf("scenario: %s — %s\n", scenario->info.name.c_str(),
+                scenario->info.summary.c_str());
+  } else if (const std::string swf = cli.get_string("swf"); !swf.empty()) {
     SwfOptions options;
     options.procs_per_node =
         static_cast<std::int32_t>(cli.get_int("procs-per-node"));
