@@ -5,7 +5,14 @@
 // reports the cheapest configuration whose mean bounded slowdown stays
 // within a tolerance of the full-memory baseline — the procurement question
 // disaggregation studies exist to answer.
+//
+// With --scenario, sweeps the *machine scale* of a library scenario instead
+// (ScenarioParams::{node_scale, pool_scale}): the same regime on machines
+// 1–4× the published node count with 0.5–2× the pool capacity, workload
+// re-derived per machine. All runs share the persistent executor, so the
+// grid costs no per-sweep thread startup.
 #include <cstdio>
+#include <stdexcept>
 #include <vector>
 
 #include "cluster/system_config.hpp"
@@ -14,14 +21,78 @@
 #include "common/table.hpp"
 #include "core/sweep.hpp"
 
+namespace {
+
+using namespace dmsched;
+
+/// The --scenario mode: a node_scale × pool_scale grid over one library
+/// scenario. Each grid point rebuilds the scenario (its workload adapts to
+/// the scaled machine) and runs one scheduler; the grid itself runs through
+/// parallel_for_chunked on the shared pool, each point writing only its own
+/// result slot.
+int run_scale_grid(const std::string& name) {
+  const std::vector<double> node_scales = {1.0, 2.0, 4.0};
+  const std::vector<double> pool_scales = {0.5, 1.0, 2.0};
+  struct GridPoint {
+    ScenarioParams params;
+    Scenario scenario;
+    RunMetrics metrics;
+  };
+  std::vector<GridPoint> grid;
+  for (const double ns : node_scales) {
+    for (const double ps : pool_scales) {
+      GridPoint p;
+      p.params.node_scale = ns;
+      p.params.pool_scale = ps;
+      grid.push_back(std::move(p));
+    }
+  }
+  try {
+    parallel_for_chunked(grid.size(), SweepOptions{}, [&](std::size_t i) {
+      grid[i].scenario = make_scenario(name, grid[i].params);
+      grid[i].metrics = run_scenario(grid[i].scenario,
+                                     SchedulerKind::kMemAwareEasy);
+    });
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  ConsoleTable table("machine-scale grid — " + name + " (mem-easy)");
+  table.columns({"node x", "pool x", "nodes", "pool total", "bsld",
+                 "wait (h)", "util %", "far-jobs %"});
+  for (const GridPoint& p : grid) {
+    const auto& m = p.metrics;
+    table.row({strformat("%.1f", p.params.node_scale),
+               strformat("%.1f", p.params.pool_scale),
+               strformat("%d", p.scenario.cluster.total_nodes),
+               format_bytes(p.scenario.cluster.total_pool()),
+               strformat("%.2f", m.mean_bsld),
+               strformat("%.2f", m.mean_wait_hours),
+               strformat("%.1f", 100.0 * m.node_utilization),
+               strformat("%.1f", 100.0 * m.frac_jobs_far)});
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace dmsched;
   Cli cli("capacity_planning", "find the smallest memory config that holds");
   cli.add_string("model", "mixed", "workload: capability|capacity|mixed");
+  cli.add_string("scenario", "",
+                 "sweep a library scenario's machine scale instead "
+                 "(node_scale x pool_scale grid)");
   cli.add_int("jobs", 2500, "jobs per simulation");
   cli.add_double("tolerance", 0.10,
                  "acceptable bsld regression vs baseline (fraction)");
   if (!cli.parse(argc, argv)) return 1;
+
+  if (const std::string name = cli.get_string("scenario"); !name.empty()) {
+    return run_scale_grid(name);
+  }
 
   const WorkloadModel model =
       workload_model_from_string(cli.get_string("model"));

@@ -1,84 +1,14 @@
 #include "core/sweep.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
-
-#include "common/assert.hpp"
-
 namespace dmsched {
-
-namespace {
-
-unsigned resolve_threads(unsigned threads) {
-  if (threads == 0) threads = std::thread::hardware_concurrency();
-  if (threads == 0) threads = 1;
-  return threads;
-}
-
-}  // namespace
-
-std::size_t auto_chunk_size(std::size_t count, unsigned threads) {
-  threads = resolve_threads(threads);
-  // Aim for ~8 chunks per worker: grabs stay rare (one atomic RMW per chunk
-  // instead of per index) while stragglers can still be rebalanced.
-  const std::size_t chunk = count / (std::size_t{8} * threads);
-  return std::clamp<std::size_t>(chunk, 1, 64);
-}
 
 void parallel_for_chunked(std::size_t count, const SweepOptions& options,
                           const std::function<void(std::size_t)>& fn) {
-  const unsigned threads = resolve_threads(options.threads);
-  if (count == 0) return;
-  if (threads == 1 || count == 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
-    return;
-  }
-  // Clamp to count so oversized chunk requests cannot overflow the
-  // num_chunks arithmetic (and a single chunk is all they can mean anyway).
-  const std::size_t chunk = std::min(
-      count,
-      options.chunk == 0 ? auto_chunk_size(count, threads) : options.chunk);
-  const std::size_t num_chunks = (count + chunk - 1) / chunk;
-  std::atomic<std::size_t> next_chunk{0};
-  // An exception escaping a jthread would std::terminate the process; capture
-  // the first one, drain the remaining chunks, and rethrow on the caller's
-  // thread so parallel and serial execution have the same failure contract.
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  {
-    std::vector<std::jthread> workers;
-    const unsigned n = static_cast<unsigned>(
-        std::min<std::size_t>(threads, num_chunks));
-    workers.reserve(n);
-    for (unsigned w = 0; w < n; ++w) {
-      workers.emplace_back([&next_chunk, num_chunks, chunk, count, &fn,
-                            &first_error, &error_mutex] {
-        for (;;) {
-          const std::size_t c =
-              next_chunk.fetch_add(1, std::memory_order_relaxed);
-          if (c >= num_chunks) return;
-          const std::size_t begin = c * chunk;
-          const std::size_t end = std::min(count, begin + chunk);
-          for (std::size_t i = begin; i < end; ++i) {
-            try {
-              fn(i);
-            } catch (...) {
-              const std::lock_guard<std::mutex> lock(error_mutex);
-              if (!first_error) first_error = std::current_exception();
-              // Claim all remaining chunks so every worker winds down
-              // promptly.
-              next_chunk.store(num_chunks, std::memory_order_relaxed);
-              return;
-            }
-          }
-        }
-      });
-    }
-  }  // jthread joins here
-  if (first_error) std::rethrow_exception(first_error);
+  ParallelForOptions runtime_options;
+  runtime_options.parallelism = options.threads;
+  runtime_options.chunk = options.chunk;
+  runtime_options.executor = options.executor;
+  parallel_for(count, runtime_options, fn);
 }
 
 void parallel_for_index(std::size_t count, unsigned threads,

@@ -1,14 +1,15 @@
 // Parallel parameter-sweep harness.
 //
 // Simulation runs are independent, so sweeps parallelize embarrassingly.
-// Following the CP.* concurrency guidelines: no shared mutable state between
-// workers (each owns its slot in the results vector), RAII threads
-// (std::jthread), work distribution through an atomic chunk counter.
+// Work runs on the persistent work-stealing Executor (src/runtime/): the
+// pool starts once per process and is reused by every sweep, so the many
+// small sweeps benches and golden suites issue no longer pay per-call
+// thread-startup cost (bench/sweep_throughput measures the win).
 //
 // Determinism contract: every index writes only its own pre-sized result
-// slot and no result depends on which worker ran it or in what order, so
-// sweep output is byte-identical across thread counts and chunk sizes.
-// tests/golden/ enforces this.
+// slot and no result depends on which worker ran it, in what order, or
+// whether the task was stolen, so sweep output is byte-identical across
+// thread counts, chunk sizes, and pool reuse. tests/golden/ enforces this.
 #pragma once
 
 #include <cstddef>
@@ -16,18 +17,24 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace dmsched {
 
-/// How a sweep distributes work across threads.
+/// How a sweep distributes work across the shared pool.
 struct SweepOptions {
-  /// Worker count. 0 means hardware concurrency.
+  /// Upper bound on in-flight parallelism within the shared Executor (no
+  /// threads are spawned per call). 0 means hardware concurrency; values
+  /// above the pool's worker count are harmless oversubscription.
   unsigned threads = 0;
   /// Indices claimed per atomic grab. At production scale (thousands of
   /// configs) larger chunks cut counter contention; 1 reproduces the old
   /// index-at-a-time behaviour. 0 picks a size automatically so each worker
   /// sees several chunks (load balance) while grabs stay rare (contention).
   std::size_t chunk = 0;
+  /// Pool to run on; nullptr means the process-wide Executor::global().
+  /// Inject a private Executor to isolate a sweep (tests do).
+  Executor* executor = nullptr;
 };
 
 /// Run every experiment (each generating its own workload) and return
@@ -48,19 +55,19 @@ struct SweepOptions {
     const std::vector<ExperimentConfig>& configs, const Trace& trace,
     unsigned threads = 0);
 
-/// The chunk size `parallel_for_chunked` uses when `options.chunk == 0`:
-/// count / (8 × threads), clamped to [1, 64]. Exposed so tests can pin the
-/// heuristic's invariants (never 0, never starves a worker).
-[[nodiscard]] std::size_t auto_chunk_size(std::size_t count, unsigned threads);
+// `auto_chunk_size(count, threads)` — the chunk heuristic used when
+// `options.chunk == 0` — now lives in runtime/parallel_for.hpp (included
+// above) and is re-exported here unchanged.
 
-/// Generic parallel map over [0, count): workers claim contiguous chunks of
-/// `options.chunk` indices from one atomic counter and visit every index
-/// exactly once. Ordering between chunks is unspecified; correctness must
-/// not depend on it. If `fn` throws, the pool winds down (remaining chunks
-/// are abandoned, the throwing worker's own chunk is abandoned mid-way) and
-/// the *first* exception is rethrown on the calling thread — the same
-/// failure contract as the serial path, so callers never see std::terminate
-/// from a worker.
+/// Generic parallel map over [0, count) on the shared pool: workers claim
+/// contiguous chunks of `options.chunk` indices from one atomic counter and
+/// visit every index exactly once. Ordering between chunks is unspecified;
+/// correctness must not depend on it. If `fn` throws, the loop winds down
+/// (unclaimed chunks are abandoned, a throwing worker abandons the rest of
+/// its own chunk), every worker exception is captured with its index, and
+/// the *lowest-index* exception is rethrown on the calling thread —
+/// deterministic, matching the serial path's failure contract (callers
+/// never see std::terminate from a worker).
 void parallel_for_chunked(std::size_t count, const SweepOptions& options,
                           const std::function<void(std::size_t)>& fn);
 

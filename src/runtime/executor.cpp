@@ -1,0 +1,201 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace dmsched {
+
+namespace {
+
+unsigned resolve_worker_count(unsigned threads) {
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  return threads;
+}
+
+}  // namespace
+
+Executor::Executor(ExecutorOptions options) {
+  const unsigned n = resolve_worker_count(options.threads);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<WorkerDeque>());
+  }
+  threads_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    const std::lock_guard<std::mutex> lock(idle_mutex_);
+    stopping_ = true;
+  }
+  idle_cv_.notify_all();
+  // jthread joins in threads_'s destructor. Every TaskGroup waits before it
+  // is destroyed, so the deques are empty by the time anyone destroys the
+  // executor; workers only exit once they have drained their deques anyway.
+}
+
+Executor& Executor::global() {
+  // Function-local static: lazily started on first use, workers joined
+  // during static destruction at process exit — no leaked threads under
+  // the sanitizers.
+  static Executor instance;
+  return instance;
+}
+
+void Executor::submit(const void* group, std::function<void()> task) {
+  std::size_t target;
+  {
+    const std::lock_guard<std::mutex> lock(idle_mutex_);
+    DMSCHED_ASSERT(!stopping_, "submit() on a stopping Executor");
+    target = submit_cursor_++ % workers_.size();
+    ++queued_;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->tasks.push_back({group, std::move(task)});
+  }
+  idle_cv_.notify_one();
+}
+
+std::function<void()> Executor::take(std::size_t self) {
+  const std::size_t n = workers_.size();
+  // Own deque back (LIFO — cache-warm continuation), then steal from the
+  // other deques' fronts (FIFO — oldest work first). Steal order must not
+  // matter to any result; it only affects which thread runs a task.
+  if (self < n) {
+    WorkerDeque& own = *workers_[self];
+    const std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      auto task = std::move(own.tasks.back().fn);
+      own.tasks.pop_back();
+      return task;
+    }
+  }
+  for (std::size_t off = 1; off <= n; ++off) {
+    WorkerDeque& victim = *workers_[(self + off) % n];
+    const std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      auto task = std::move(victim.tasks.front().fn);
+      victim.tasks.pop_front();
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+bool Executor::try_run_one_from(const void* group) {
+  // A waiter may only inline tasks it submitted itself (same group tag):
+  // running a foreign task here could block this thread on a condition
+  // only the foreign task's owner will signal. Extraction from the middle
+  // of a victim deque is fine — no result depends on execution order.
+  std::function<void()> task;
+  for (std::size_t w = 0; w < workers_.size() && !task; ++w) {
+    WorkerDeque& victim = *workers_[w];
+    const std::lock_guard<std::mutex> lock(victim.mutex);
+    for (auto it = victim.tasks.begin(); it != victim.tasks.end(); ++it) {
+      if (it->group == group) {
+        task = std::move(it->fn);
+        victim.tasks.erase(it);
+        break;
+      }
+    }
+  }
+  if (!task) return false;
+  {
+    const std::lock_guard<std::mutex> lock(idle_mutex_);
+    --queued_;
+  }
+  task();
+  return true;
+}
+
+void Executor::worker_loop(std::size_t self) {
+  for (;;) {
+    if (auto task = take(self)) {
+      {
+        const std::lock_guard<std::mutex> lock(idle_mutex_);
+        --queued_;
+      }
+      task();  // task wrappers never throw (TaskGroup captures inside)
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    idle_cv_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+    if (stopping_ && queued_ == 0) return;
+  }
+}
+
+TaskGroup::TaskGroup(Executor& executor)
+    : executor_(executor), state_(std::make_shared<State>()) {}
+
+TaskGroup::~TaskGroup() {
+  // Never let tasks outlive the stack they might reference; swallow errors
+  // (wait() is the throwing surface).
+  try {
+    wait();
+  } catch (...) {
+  }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  const std::size_t index = submitted_++;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    ++state_->unfinished;
+  }
+  executor_.submit(
+      state_.get(),
+      [state = state_, index, fn = std::move(fn)] {
+        std::exception_ptr error;
+        try {
+          fn();
+        } catch (...) {
+          error = std::current_exception();
+        }
+        const std::lock_guard<std::mutex> lock(state->mutex);
+        if (error) state->errors.emplace_back(index, error);
+        if (--state->unfinished == 0) state->done.notify_all();
+      });
+}
+
+void TaskGroup::wait() {
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock(state_->mutex);
+      if (state_->unfinished == 0) break;
+    }
+    // Lend a hand instead of idling: run this group's still-queued tasks
+    // inline. This is what makes nested submission from inside a worker
+    // deadlock-free — a blocked waiter is itself an execution resource.
+    if (executor_.try_run_one_from(state_.get())) continue;
+    // None of our tasks is queued anywhere, so all our unfinished tasks
+    // have been taken and are running on some thread — each will notify
+    // `done` when it finishes. (The predicate re-checks under the lock, so
+    // a finish between the scan and the wait cannot be lost.)
+    std::unique_lock<std::mutex> lock(state_->mutex);
+    state_->done.wait(lock, [this] { return state_->unfinished == 0; });
+    break;
+  }
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    errors.swap(state_->errors);
+  }
+  submitted_ = 0;
+  if (!errors.empty()) {
+    // Deterministic choice: the lowest submission index wins, regardless of
+    // which worker reported first. Every submitted task runs (nothing is
+    // cancelled), so the winner does not depend on timing.
+    const auto lowest = std::min_element(
+        errors.begin(), errors.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(lowest->second);
+  }
+}
+
+}  // namespace dmsched

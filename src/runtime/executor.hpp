@@ -1,0 +1,151 @@
+// Persistent work-stealing executor: the process-lifetime thread pool that
+// powers every sweep and bench.
+//
+// Before this layer existed, `run_sweep` spawned and joined a fresh
+// std::jthread team per call, so the many small sweeps the benches and
+// golden suites issue paid thread-startup cost every time. The Executor
+// starts its workers once and amortizes them across all subsequent sweeps
+// (bench/sweep_throughput measures the difference).
+//
+// Shape:
+//  - Each worker owns a deque of tasks guarded by its own mutex.
+//    Submissions are distributed round-robin; an idle worker drains its own
+//    deque LIFO, then steals FIFO from the others. Lock-protected stealing
+//    is deliberate — stealing is rare (tasks are chunky drain loops) and a
+//    mutex per deque keeps the code auditable under TSan.
+//  - Determinism contract: *no result may depend on steal order.* Work
+//    submitted through this layer writes only per-index result slots, so
+//    which worker ran a task, in what order, and whether it was stolen are
+//    all unobservable in the output. tests/golden/ enforces this end to end.
+//  - TaskGroup is the structured-submission surface: `run` hands a task to
+//    the pool, `wait` executes the group's own still-queued tasks inline
+//    while blocking (so nested submission from inside a worker cannot
+//    deadlock, and a waiter never inlines a foreign task that might block
+//    on someone else's condition) and rethrows the first exception *by
+//    submission index* — deterministic, unlike first-in-time.
+//  - Shutdown: the destructor (or process exit, for `global()`) wakes every
+//    worker and joins it; groups always wait before destruction, so no task
+//    can outlive the state it references. Clean under ASan/UBSan/TSan.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dmsched {
+
+/// How an Executor is shaped at construction.
+struct ExecutorOptions {
+  /// Worker count. 0 means hardware concurrency (min 1).
+  unsigned threads = 0;
+};
+
+/// A persistent pool of worker threads with per-worker work-stealing
+/// deques. Construct once, submit through TaskGroup, reuse for the life of
+/// the process. Thread-safe for concurrent submission.
+class Executor {
+ public:
+  explicit Executor(ExecutorOptions options = {});
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Number of worker threads (fixed at construction).
+  [[nodiscard]] unsigned worker_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// The lazily-started process-lifetime default pool (hardware
+  /// concurrency). First call starts the workers; they are joined at
+  /// process exit. Sweeps use this unless SweepOptions injects another.
+  static Executor& global();
+
+ private:
+  friend class TaskGroup;
+
+  struct QueuedTask {
+    /// Which TaskGroup submitted this (opaque tag). Waiters may only
+    /// steal back *their own* group's tasks: inlining an arbitrary foreign
+    /// task could block the waiter on that task's private conditions
+    /// (the classic help-first stealing deadlock).
+    const void* group = nullptr;
+    std::function<void()> fn;
+  };
+
+  struct WorkerDeque {
+    std::mutex mutex;
+    std::deque<QueuedTask> tasks;
+  };
+
+  /// Enqueue a task (round-robin across worker deques) and wake a worker.
+  void submit(const void* group, std::function<void()> task);
+
+  /// Run one queued task of `group` on the calling thread if one is still
+  /// queued anywhere. Returns false when none is (they all finished or are
+  /// running elsewhere). This is how blocked waiters lend a hand — a
+  /// group's queued work never waits for a free pool worker to exist.
+  bool try_run_one_from(const void* group);
+
+  /// Pop a task: own deque back (LIFO) when `self` is a worker index,
+  /// otherwise steal from deque fronts (FIFO) starting after `self`.
+  std::function<void()> take(std::size_t self);
+
+  void worker_loop(std::size_t self);
+
+  std::vector<std::unique_ptr<WorkerDeque>> workers_;
+  // Guards sleep/wake and shutdown; queued_ counts tasks submitted but not
+  // yet taken (the workers' sleep predicate).
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::size_t queued_ = 0;
+  bool stopping_ = false;
+  std::size_t submit_cursor_ = 0;
+  std::vector<std::jthread> threads_;  // last member: joins before the rest
+};
+
+/// A set of tasks submitted to an Executor and awaited together.
+///
+/// `wait()` blocks until every task has finished, executing queued pool
+/// tasks inline while it waits, and rethrows the first exception by
+/// submission index (all tasks still run; nothing is cancelled). The
+/// destructor waits too (swallowing exceptions), so a TaskGroup can never
+/// leak running tasks that reference dead stack frames.
+class TaskGroup {
+ public:
+  explicit TaskGroup(Executor& executor);
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submit one task to the pool.
+  void run(std::function<void()> fn);
+
+  /// Block until all submitted tasks finish; rethrow the lowest-submission-
+  /// index exception if any task threw. May be called at most once per
+  /// batch; after it returns the group can be reused.
+  void wait();
+
+ private:
+  struct State {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t unfinished = 0;
+    // (submission index, error), unordered; wait() picks the lowest index.
+    std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+  };
+
+  Executor& executor_;
+  std::shared_ptr<State> state_;
+  std::size_t submitted_ = 0;
+};
+
+}  // namespace dmsched

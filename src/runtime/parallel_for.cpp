@@ -1,0 +1,98 @@
+#include "runtime/parallel_for.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace dmsched {
+
+namespace {
+
+unsigned resolve_parallelism(unsigned parallelism) {
+  if (parallelism == 0) parallelism = std::thread::hardware_concurrency();
+  if (parallelism == 0) parallelism = 1;
+  return parallelism;
+}
+
+}  // namespace
+
+std::size_t auto_chunk_size(std::size_t count, unsigned parallelism) {
+  parallelism = resolve_parallelism(parallelism);
+  // Aim for ~8 chunks per worker: grabs stay rare (one atomic RMW per chunk
+  // instead of per index) while stragglers can still be rebalanced.
+  const std::size_t chunk = count / (std::size_t{8} * parallelism);
+  return std::clamp<std::size_t>(chunk, 1, 64);
+}
+
+void parallel_for(std::size_t count, const ParallelForOptions& options,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const unsigned parallelism = resolve_parallelism(options.parallelism);
+  if (parallelism == 1 || count == 1) {
+    // Serial fast path: no pool involvement, exceptions propagate from the
+    // lowest index reached — the contract the parallel path reproduces.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // Clamp to count so oversized chunk requests cannot overflow the
+  // num_chunks arithmetic (and a single chunk is all they can mean anyway).
+  const std::size_t chunk = std::min(
+      count, options.chunk == 0 ? auto_chunk_size(count, parallelism)
+                                : options.chunk);
+  const std::size_t num_chunks = (count + chunk - 1) / chunk;
+
+  std::atomic<std::size_t> next_chunk{0};
+  // An exception escaping a pool task would be swallowed by the TaskGroup
+  // wrapper with the wrong identity (submission order, not loop index), and
+  // escaping a raw thread would std::terminate. Capture (index, error)
+  // pairs instead; after the join the lowest index is rethrown, so which
+  // worker reported first is unobservable.
+  std::mutex error_mutex;
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+
+  const auto drain = [&next_chunk, num_chunks, chunk, count, &fn,
+                      &error_mutex, &errors] {
+    for (;;) {
+      const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const std::size_t begin = c * chunk;
+      const std::size_t end = std::min(count, begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            errors.emplace_back(i, std::current_exception());
+          }
+          // Claim all remaining chunks so every worker winds down promptly
+          // (in-flight chunks still finish or throw — and get recorded).
+          next_chunk.store(num_chunks, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+  };
+
+  Executor& executor = options.executor ? *options.executor
+                                        : Executor::global();
+  {
+    TaskGroup group(executor);
+    const std::size_t helpers =
+        std::min<std::size_t>(parallelism, num_chunks) - 1;
+    for (std::size_t w = 0; w < helpers; ++w) group.run(drain);
+    drain();       // the caller is always one of the drain lanes
+    group.wait();  // unstarted helpers run inline here and no-op
+  }
+  if (!errors.empty()) {
+    const auto lowest = std::min_element(
+        errors.begin(), errors.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(lowest->second);
+  }
+}
+
+}  // namespace dmsched

@@ -1,0 +1,52 @@
+// Chunked parallel loops on a persistent Executor.
+//
+// This is the primitive under `run_sweep*`: workers claim contiguous chunks
+// of [0, count) from one atomic counter, so determinism never depends on
+// which thread (or which steal) ran an index. The caller always participates
+// in the drain, which bounds latency by the work itself — progress never
+// requires a free pool worker, so nested parallel_for from inside a worker
+// cannot deadlock and oversubscribed parallelism degrades gracefully.
+//
+// Exception contract (deterministic, pinned by tests/core/ and
+// tests/runtime/): every worker exception is captured with the index that
+// threw it, and the *lowest index* is rethrown — never first-in-time. A
+// throwing worker abandons the rest of its own chunk and unclaimed chunks
+// are abandoned, but chunk claims are monotonic, so a throw at index 0 (or
+// the lowest throwing index of any claimed chunk) always wins regardless of
+// thread timing.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "runtime/executor.hpp"
+
+namespace dmsched {
+
+/// How a parallel loop maps onto the shared pool.
+struct ParallelForOptions {
+  /// Upper bound on in-flight parallelism *within* the pool (the loop uses
+  /// the caller plus up to parallelism-1 pool workers). 0 means hardware
+  /// concurrency. May exceed the executor's worker count (oversubscription
+  /// is harmless: surplus drain tasks find the counter exhausted).
+  unsigned parallelism = 0;
+  /// Indices claimed per atomic grab; 0 picks `auto_chunk_size`.
+  std::size_t chunk = 0;
+  /// Pool to run on; nullptr means Executor::global().
+  Executor* executor = nullptr;
+};
+
+/// The chunk size used when `options.chunk == 0`: count / (8 × parallelism),
+/// clamped to [1, 64]. Exposed so tests can pin the heuristic's invariants
+/// (never 0, never starves a worker).
+[[nodiscard]] std::size_t auto_chunk_size(std::size_t count,
+                                          unsigned parallelism);
+
+/// Visit every index in [0, count) exactly once, in chunks, with bounded
+/// parallelism on the shared pool. Ordering between chunks is unspecified;
+/// correctness must not depend on it. See the header comment for the
+/// deterministic exception contract.
+void parallel_for(std::size_t count, const ParallelForOptions& options,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace dmsched

@@ -1,5 +1,6 @@
 #include "workload/scenarios.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -26,7 +27,43 @@ ScenarioParams resolve(const ScenarioParams& params,
   if (r.jobs == 0) r.jobs = defaults.jobs;
   if (r.seed == 0) r.seed = defaults.seed;
   if (r.load == 0.0) r.load = defaults.load;
+  // The machine-scale knobs default to the published machine (1.0) for
+  // every scenario; anything else non-positive is a caller error, not a
+  // sentinel.
+  if (r.node_scale == 0.0) r.node_scale = 1.0;
+  if (r.pool_scale == 0.0) r.pool_scale = 1.0;
+  if (r.node_scale <= 0.0 || r.pool_scale <= 0.0) {
+    throw std::invalid_argument(
+        "scenario machine-scale factors must be > 0 (node_scale=" +
+        std::to_string(params.node_scale) +
+        ", pool_scale=" + std::to_string(params.pool_scale) + ")");
+  }
   return r;
+}
+
+/// Apply the resolved machine-scale multipliers to a scenario's published
+/// cluster. Callers scale *before* building the workload so the trace
+/// (job widths, offered load) adapts to the scaled machine — that is what
+/// makes the knobs usable for capacity planning rather than just starving
+/// or flooding the published workload.
+ClusterConfig scale_cluster(ClusterConfig c, const ScenarioParams& p) {
+  if (p.node_scale != 1.0) {
+    // Snap to whole racks so rack-level pool accounting keeps its shape.
+    const double scaled_racks =
+        static_cast<double>(c.total_nodes) * p.node_scale /
+        static_cast<double>(c.nodes_per_rack);
+    const auto racks = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(scaled_racks)));
+    c.total_nodes = static_cast<std::int32_t>(
+        racks * static_cast<std::int64_t>(c.nodes_per_rack));
+  }
+  if (p.pool_scale != 1.0) {
+    c.pool_per_rack = Bytes{static_cast<std::int64_t>(std::llround(
+        static_cast<double>(c.pool_per_rack.count()) * p.pool_scale))};
+    c.global_pool = Bytes{static_cast<std::int64_t>(std::llround(
+        static_cast<double>(c.global_pool.count()) * p.pool_scale))};
+  }
+  return c;
 }
 
 ClusterConfig make_cluster(std::string name, std::int32_t nodes,
@@ -46,7 +83,7 @@ ClusterConfig make_cluster(std::string name, std::int32_t nodes,
 Scenario model_scenario(ClusterConfig cluster, WorkloadModel model,
                         Bytes reference_mem, const ScenarioParams& p) {
   Scenario s;
-  s.cluster = std::move(cluster);
+  s.cluster = scale_cluster(std::move(cluster), p);
   s.workload_reference_mem = reference_mem;
   s.trace = make_model_trace(model, p.jobs, p.seed, s.cluster.total_nodes,
                              reference_mem, p.load);
@@ -160,7 +197,7 @@ Scenario build_mixed_swf(const ScenarioParams& p) {
   Scenario s;
   // 48 processors at 4 per node => 12 nodes; per-node footprints reach
   // 16 GiB, above the 12 GiB of local memory, so the replay needs the pools.
-  s.cluster = make_cluster("mixed-swf", 12, 4, 12, 24, 32);
+  s.cluster = scale_cluster(make_cluster("mixed-swf", 12, 4, 12, 24, 32), p);
   s.workload_reference_mem = s.cluster.local_mem_per_node;
 
   SwfOptions options;

@@ -33,6 +33,16 @@ struct ScenarioParams {
   std::uint64_t seed = 0;
   /// Offered-load target against the scenario machine.
   double load = 0.0;
+  /// Machine-scale multiplier on the node count (capacity-planning studies:
+  /// "the same regime, on a machine k× the size"). Applied *before* the
+  /// workload is built, so job widths and offered load adapt to the scaled
+  /// machine; the result is snapped to whole racks (min one rack). 0 means
+  /// 1.0 — the published machine. Must be > 0 otherwise.
+  double node_scale = 0.0;
+  /// Machine-scale multiplier on disaggregated capacity (rack pools and the
+  /// global tier together). 0 means 1.0; must be > 0 otherwise. A scenario
+  /// with no pools stays poolless at any scale.
+  double pool_scale = 0.0;
 };
 
 /// Registry metadata: what a scenario is for, before paying to build it.

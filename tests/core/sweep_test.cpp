@@ -108,6 +108,43 @@ TEST(Sweep, ChunkedCoversAllIndicesForEveryChunkSize) {
   }
 }
 
+TEST(Sweep, ChunkedRethrowsTheLowestIndexDeterministically) {
+  // When several workers throw, the surfaced exception is the lowest
+  // index's — never whichever worker reported first. All-throw makes every
+  // repeat deterministic: chunk 0 is always claimed before wind-down.
+  for (int repeat = 0; repeat < 20; ++repeat) {
+    try {
+      parallel_for_chunked(128, SweepOptions{8, 4}, [](std::size_t i) {
+        throw std::out_of_range("boom at " + std::to_string(i));
+      });
+      FAIL() << "must rethrow";
+    } catch (const std::out_of_range& e) {
+      EXPECT_STREQ(e.what(), "boom at 0") << "repeat " << repeat;
+    }
+  }
+}
+
+TEST(Sweep, InjectedExecutorMatchesTheGlobalPool) {
+  // SweepOptions::executor isolates a sweep on a private pool; results must
+  // be byte-identical to the shared-pool run (determinism is pool-blind).
+  const std::vector<ExperimentConfig> configs = {
+      small_config(SchedulerKind::kEasy),
+      small_config(SchedulerKind::kMemAwareEasy)};
+  const Trace trace = make_workload(configs.front());
+  const auto on_global =
+      run_sweep_on_trace(configs, trace, SweepOptions{4, 1});
+  Executor private_pool(ExecutorOptions{2});
+  SweepOptions options{4, 1};
+  options.executor = &private_pool;
+  const auto on_private = run_sweep_on_trace(configs, trace, options);
+  ASSERT_EQ(on_private.size(), on_global.size());
+  for (std::size_t i = 0; i < on_global.size(); ++i) {
+    EXPECT_EQ(on_private[i].makespan.usec(), on_global[i].makespan.usec());
+    EXPECT_EQ(on_private[i].mean_wait_hours, on_global[i].mean_wait_hours);
+    EXPECT_EQ(on_private[i].completed, on_global[i].completed);
+  }
+}
+
 TEST(Sweep, ChunkedPropagatesExceptionsMidChunk) {
   // A throw from the middle of a chunk abandons the rest of that chunk and
   // the remaining chunks, and reaches the caller.

@@ -271,6 +271,32 @@ TEST_F(GoldenMetricsTest, ExplicitChunkSizesMatchSerial) {
   }
 }
 
+TEST_F(GoldenMetricsTest, RepeatedSweepsOnTheSharedPoolStayByteIdentical) {
+  // The persistent executor is reused across every sweep in the process;
+  // repeated sweeps, a fresh injected pool, and the warm shared pool must
+  // all produce byte-identical output (pool reuse is unobservable).
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const auto warm = run_sweep_on_trace(*configs_, scenario_->trace, hw);
+    ASSERT_EQ(warm.size(), serial_->size());
+    for (std::size_t i = 0; i < warm.size(); ++i) {
+      SCOPED_TRACE(::testing::Message()
+                   << to_string(kGolden[i].scheduler) << " repeat " << repeat);
+      expect_byte_identical((*serial_)[i], warm[i]);
+    }
+  }
+  Executor fresh_pool(ExecutorOptions{3});
+  SweepOptions options{hw, /*chunk=*/2};
+  options.executor = &fresh_pool;
+  const auto cold =
+      run_sweep_on_trace(*configs_, scenario_->trace, options);
+  ASSERT_EQ(cold.size(), serial_->size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    SCOPED_TRACE(to_string(kGolden[i].scheduler));
+    expect_byte_identical((*serial_)[i], cold[i]);
+  }
+}
+
 TEST_F(GoldenMetricsTest, ScenarioExercisesThePools) {
   // Guard against the scenario degenerating (e.g. a workload-model change
   // that stops touching far memory would silently weaken the suite).

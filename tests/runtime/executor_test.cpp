@@ -1,0 +1,286 @@
+// The persistent work-stealing executor: everything run_sweep's correctness
+// rests on. Exception propagation (deterministic, first-by-index), nested
+// and recursive submission, reuse across hundreds of sequential loops,
+// oversubscription beyond the pool's worker count, and caller participation
+// when every pool worker is busy.
+#include "runtime/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/parallel_for.hpp"
+
+namespace dmsched {
+namespace {
+
+unsigned hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+TEST(Executor, StartsRequestedWorkerCount) {
+  Executor two(ExecutorOptions{2});
+  EXPECT_EQ(two.worker_count(), 2u);
+  Executor defaulted;
+  EXPECT_EQ(defaulted.worker_count(), hardware_threads());
+}
+
+TEST(Executor, GlobalIsAProcessWideSingleton) {
+  Executor& a = Executor::global();
+  Executor& b = Executor::global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.worker_count(), 1u);
+}
+
+TEST(TaskGroupTest, RunsEverySubmittedTask) {
+  Executor executor(ExecutorOptions{4});
+  std::atomic<int> sum{0};
+  TaskGroup group(executor);
+  for (int i = 1; i <= 100; ++i) {
+    group.run([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+  }
+  group.wait();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(TaskGroupTest, IsReusableAfterWait) {
+  Executor executor(ExecutorOptions{2});
+  TaskGroup group(executor);
+  std::atomic<int> runs{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 10; ++i) group.run([&runs] { ++runs; });
+    group.wait();
+    EXPECT_EQ(runs.load(), (batch + 1) * 10);
+  }
+}
+
+TEST(TaskGroupTest, DestructorWaitsWithoutRethrowing) {
+  Executor executor(ExecutorOptions{2});
+  std::atomic<bool> ran{false};
+  {
+    TaskGroup group(executor);
+    group.run([&ran] {
+      ran = true;
+      throw std::runtime_error("swallowed by the destructor");
+    });
+    // No wait(): the destructor must still join the task and absorb the
+    // exception instead of terminating.
+  }
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(TaskGroupTest, WaitRethrowsTheLowestSubmissionIndex) {
+  // Every task runs (nothing is cancelled), so the winner is the lowest
+  // submission index that threw — deterministic, not first-in-time. Repeat
+  // to give races a chance to surface.
+  Executor executor(ExecutorOptions{4});
+  for (int repeat = 0; repeat < 25; ++repeat) {
+    TaskGroup group(executor);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i) {
+      group.run([&ran, i] {
+        ++ran;
+        if (i % 2 == 1) {  // 1 is the lowest thrower
+          throw std::runtime_error("task " + std::to_string(i));
+        }
+      });
+    }
+    try {
+      group.wait();
+      FAIL() << "wait() must rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "task 1");
+    }
+    EXPECT_EQ(ran.load(), 16) << "a task was cancelled";
+  }
+}
+
+TEST(TaskGroupTest, NestedGroupsOnTheSamePoolDoNotDeadlock) {
+  // Each outer task runs an inner group on the same executor and waits on
+  // it from inside a worker. With only 2 workers this deadlocks unless
+  // blocked waiters execute queued tasks inline.
+  Executor executor(ExecutorOptions{2});
+  std::atomic<int> inner_runs{0};
+  TaskGroup outer(executor);
+  for (int i = 0; i < 8; ++i) {
+    outer.run([&executor, &inner_runs] {
+      TaskGroup inner(executor);
+      for (int j = 0; j < 8; ++j) {
+        inner.run([&inner_runs] { ++inner_runs; });
+      }
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(inner_runs.load(), 64);
+}
+
+TEST(ParallelForRuntime, RecursiveParallelForCompletes) {
+  // parallel_for inside parallel_for inside parallel_for, all on one small
+  // pool: caller participation has to carry the nesting.
+  Executor executor(ExecutorOptions{2});
+  ParallelForOptions options;
+  options.parallelism = 4;
+  options.executor = &executor;
+  std::atomic<int> leaf{0};
+  parallel_for(4, options, [&](std::size_t) {
+    parallel_for(4, options, [&](std::size_t) {
+      parallel_for(4, options,
+                   [&](std::size_t) { leaf.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaf.load(), 64);
+}
+
+TEST(ParallelForRuntime, ReuseAcrossHundredsOfSequentialLoops) {
+  // The whole point of the persistent pool: back-to-back small loops reuse
+  // the same workers. 150 sequential "sweeps" over the shared global pool
+  // must each produce exact results.
+  for (int sweep = 0; sweep < 150; ++sweep) {
+    constexpr std::size_t kCount = 64;
+    std::vector<std::size_t> out(kCount, SIZE_MAX);
+    parallel_for(kCount, ParallelForOptions{},
+                 [&](std::size_t i) { out[i] = i * i; });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(out[i], i * i) << "sweep " << sweep << " slot " << i;
+    }
+  }
+}
+
+TEST(ParallelForRuntime, OversubscriptionBeyondPoolWorkersIsHarmless) {
+  // parallelism far above the executor's worker count: surplus drain tasks
+  // queue, run late, and find the chunk counter exhausted.
+  Executor executor(ExecutorOptions{2});
+  ParallelForOptions options;
+  options.parallelism = 64;
+  options.chunk = 1;
+  options.executor = &executor;
+  constexpr std::size_t kCount = 257;
+  std::vector<std::atomic<int>> visits(kCount);
+  parallel_for(kCount, options,
+               [&](std::size_t i) { visits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForRuntime, CallerMakesProgressWhileAllWorkersAreBusy) {
+  // Block the pool's only worker; a parallel_for issued meanwhile must
+  // still complete, because the calling thread is itself a drain lane.
+  Executor executor(ExecutorOptions{1});
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  TaskGroup blocker(executor);
+  blocker.run([&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  ParallelForOptions options;
+  options.parallelism = 4;
+  options.executor = &executor;
+  std::atomic<int> visited{0};
+  parallel_for(100, options, [&](std::size_t) { visited.fetch_add(1); });
+  EXPECT_EQ(visited.load(), 100);
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  blocker.wait();
+}
+
+TEST(ParallelForRuntime, LowestIndexExceptionWinsDeterministically) {
+  // All indices throw: chunk 0 is always claimed before any wind-down, so
+  // index 0's exception must win on every repeat, on any thread timing.
+  Executor executor(ExecutorOptions{4});
+  ParallelForOptions options;
+  options.parallelism = 4;
+  options.chunk = 4;
+  options.executor = &executor;
+  for (int repeat = 0; repeat < 50; ++repeat) {
+    try {
+      parallel_for(64, options, [](std::size_t i) {
+        throw std::runtime_error("index " + std::to_string(i));
+      });
+      FAIL() << "parallel_for must rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "index 0") << "repeat " << repeat;
+    }
+  }
+}
+
+TEST(ParallelForRuntime, LowerIndexWinsWithinOneChunk) {
+  // Two throwers in the same chunk: the worker scans the chunk in index
+  // order and abandons it at the first throw, so the lower index always
+  // surfaces even though both are "first" in their own right.
+  Executor executor(ExecutorOptions{4});
+  ParallelForOptions options;
+  options.parallelism = 4;
+  options.chunk = 50;  // indices 10 and 30 share chunk 0
+  options.executor = &executor;
+  for (int repeat = 0; repeat < 25; ++repeat) {
+    try {
+      parallel_for(100, options, [](std::size_t i) {
+        if (i == 10 || i == 30) {
+          throw std::runtime_error("index " + std::to_string(i));
+        }
+      });
+      FAIL() << "parallel_for must rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "index 10") << "repeat " << repeat;
+    }
+  }
+}
+
+TEST(ParallelForRuntime, SerialPathMatchesSerialSemantics) {
+  // parallelism 1 never touches the pool and stops at the first throwing
+  // index, exactly like a plain for loop.
+  std::vector<std::size_t> visited;
+  try {
+    parallel_for(10, ParallelForOptions{.parallelism = 1},
+                 [&](std::size_t i) {
+                   visited.push_back(i);
+                   if (i == 3) throw std::runtime_error("stop");
+                 });
+    FAIL() << "must rethrow";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(visited, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ParallelForRuntime, ManySmallLoopsFromConcurrentThreads) {
+  // Several client threads each issue loops against the shared global pool
+  // at once — the cross-session shape benches create. Results must stay
+  // exact per client.
+  constexpr int kClients = 4;
+  std::vector<std::jthread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&failures] {
+      for (int sweep = 0; sweep < 25; ++sweep) {
+        constexpr std::size_t kCount = 97;
+        std::vector<std::size_t> out(kCount, 0);
+        parallel_for(kCount, ParallelForOptions{},
+                     [&](std::size_t i) { out[i] = i + 1; });
+        for (std::size_t i = 0; i < kCount; ++i) {
+          if (out[i] != i + 1) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  clients.clear();  // join
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace dmsched

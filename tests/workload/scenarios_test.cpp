@@ -116,6 +116,90 @@ TEST(ScenarioParamsTest, DefaultParamsAreTheDocumentedDefaults) {
   expect_same_trace(a.trace, b.trace);
 }
 
+TEST(ScenarioParamsTest, UnitScaleReproducesThePublishedScenario) {
+  // 0 is the sentinel and 1.0 the explicit default; both must be
+  // byte-identical to the published machine and workload (golden safety).
+  for (const std::string& name : scenario_names()) {
+    SCOPED_TRACE(name);
+    const Scenario a = make_scenario(name);
+    const Scenario b =
+        make_scenario(name, {.node_scale = 1.0, .pool_scale = 1.0});
+    EXPECT_EQ(a.cluster.total_nodes, b.cluster.total_nodes);
+    EXPECT_EQ(a.cluster.pool_per_rack, b.cluster.pool_per_rack);
+    EXPECT_EQ(a.cluster.global_pool, b.cluster.global_pool);
+    expect_same_trace(a.trace, b.trace);
+  }
+}
+
+TEST(ScenarioParamsTest, NodeScaleSnapsToWholeRacks) {
+  const Scenario base = make_scenario("memory-stressed");          // 32 nodes
+  const Scenario doubled =
+      make_scenario("memory-stressed", {.node_scale = 2.0});       // 64
+  EXPECT_EQ(doubled.cluster.total_nodes, base.cluster.total_nodes * 2);
+  EXPECT_EQ(doubled.cluster.nodes_per_rack, base.cluster.nodes_per_rack);
+  doubled.cluster.validate();
+  // A fractional scale snaps to whole racks: 32 × 1.3 = 41.6 → 5 racks × 8.
+  const Scenario odd = make_scenario("memory-stressed", {.node_scale = 1.3});
+  EXPECT_EQ(odd.cluster.total_nodes % odd.cluster.nodes_per_rack, 0);
+  EXPECT_EQ(odd.cluster.total_nodes, 40);
+  // Scaling down never drops below one rack.
+  const Scenario tiny = make_scenario("memory-stressed", {.node_scale = 0.01});
+  EXPECT_EQ(tiny.cluster.total_nodes, tiny.cluster.nodes_per_rack);
+}
+
+TEST(ScenarioParamsTest, NodeScaleAdaptsTheWorkloadToTheMachine) {
+  // The knob exists for capacity planning: the workload must be re-derived
+  // against the scaled machine, not replayed verbatim from the published
+  // one. Offered load is normalized by machine size, so it should be in
+  // the same regime at both scales while the traces differ.
+  const Scenario base = make_scenario("memory-stressed");
+  const Scenario big = make_scenario("memory-stressed", {.node_scale = 4.0});
+  ASSERT_EQ(base.trace.size(), big.trace.size());
+  EXPECT_NEAR(big.trace.offered_load(big.cluster.total_nodes),
+              base.trace.offered_load(base.cluster.total_nodes), 0.25);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < base.trace.size(); ++i) {
+    if (base.trace.jobs()[i].nodes != big.trace.jobs()[i].nodes ||
+        base.trace.jobs()[i].submit.usec() != big.trace.jobs()[i].submit.usec()) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference) << "workload ignored the scaled machine";
+}
+
+TEST(ScenarioParamsTest, PoolScaleScalesBothPoolTiers) {
+  const Scenario base = make_scenario("memory-stressed");
+  const Scenario half =
+      make_scenario("memory-stressed", {.pool_scale = 0.5});
+  EXPECT_EQ(half.cluster.pool_per_rack, base.cluster.pool_per_rack / 2);
+  EXPECT_EQ(half.cluster.global_pool, base.cluster.global_pool / 2);
+  EXPECT_EQ(half.cluster.total_nodes, base.cluster.total_nodes);
+  EXPECT_EQ(half.cluster.local_mem_per_node, base.cluster.local_mem_per_node);
+  // A poolless scenario stays poolless at any scale.
+  const Scenario contended =
+      make_scenario("pool-contended", {.pool_scale = 3.0});
+  EXPECT_TRUE(contended.cluster.global_pool.is_zero());
+}
+
+TEST(ScenarioParamsTest, ScaleFactorsAreDeterministic) {
+  const ScenarioParams params{.node_scale = 2.0, .pool_scale = 1.5};
+  const Scenario a = make_scenario("bursty-arrivals", params);
+  const Scenario b = make_scenario("bursty-arrivals", params);
+  EXPECT_EQ(a.cluster.total_nodes, b.cluster.total_nodes);
+  EXPECT_EQ(a.cluster.pool_per_rack, b.cluster.pool_per_rack);
+  expect_same_trace(a.trace, b.trace);
+}
+
+TEST(ScenarioParamsTest, NegativeScaleFactorsThrow) {
+  EXPECT_THROW(
+      (void)make_scenario("memory-stressed", {.node_scale = -1.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)make_scenario("memory-stressed", {.pool_scale = -0.5}),
+      std::invalid_argument);
+}
+
 TEST(MixedSwfScenario, StressesLocalMemory) {
   const Scenario s = make_scenario("mixed-swf");
   std::size_t above_local = 0;

@@ -101,6 +101,12 @@ int main(int argc, char** argv) {
   cli.add_string("scenario", "",
                  "library scenario (machine + workload; see --list-scenarios; "
                  "non-zero --jobs/--seed/--load override its defaults)");
+  cli.add_double("node-scale", 0.0,
+                 "with --scenario: machine-scale multiplier on the node "
+                 "count, snapped to whole racks (0 = published machine)");
+  cli.add_double("pool-scale", 0.0,
+                 "with --scenario: multiplier on rack + global pool "
+                 "capacity (0 = published machine)");
   cli.add_flag("list-scenarios", "list the scenario library and exit");
   cli.add_string("swf", "", "SWF trace file (overrides --workload)");
   cli.add_int("procs-per-node", 1, "SWF processors per node");
@@ -177,12 +183,19 @@ int main(int argc, char** argv) {
       }
     }
     if (cli.provided("load")) params.load = cli.get_double("load");
+    params.node_scale = cli.get_double("node-scale");
+    params.pool_scale = cli.get_double("pool-scale");
     try {
       scenario = make_scenario(name, params);
     } catch (const std::invalid_argument& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
     }
+  } else if (cli.provided("node-scale") || cli.provided("pool-scale")) {
+    std::fprintf(stderr,
+                 "error: --node-scale/--pool-scale only apply to --scenario "
+                 "machines (size custom machines with --nodes/--pool-gib)\n");
+    return 1;
   }
 
   ExperimentConfig config;
