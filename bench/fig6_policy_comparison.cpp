@@ -23,6 +23,10 @@ int main() {
               "utilization", "frac_far", "mean_dilation"});
 
   for (const std::string& name : scenario_names()) {
+    // Infrastructure scenarios (large-replay: 100k jobs by default) measure
+    // throughput, not policy orderings — five policies over them belongs to
+    // bench/sim_throughput, not the fig. 6 table.
+    if (scenario_info(name).infrastructure) continue;
     const Scenario scenario = make_scenario(name);
     std::vector<ExperimentConfig> configs;
     for (const SchedulerKind kind : all_scheduler_kinds()) {

@@ -1,12 +1,63 @@
 #include "core/engine.hpp"
 
-#include <algorithm>
 #include <map>
 #include <utility>
 
 #include "common/assert.hpp"
 
 namespace dmsched {
+
+void SchedulingSimulation::JobList::push_back(std::vector<JobRuntime>& rt,
+                                              JobId job) {
+  JobRuntime& r = rt[job];
+  DMSCHED_ASSERT(r.list == JobListId::kNone,
+                 "JobList::push_back: job already linked into a list");
+  r.list = id;
+  r.list_prev = tail;
+  r.list_next = kInvalidJobId;
+  if (tail != kInvalidJobId) {
+    rt[tail].list_next = job;
+  } else {
+    head = job;
+  }
+  tail = job;
+  ++count;
+}
+
+void SchedulingSimulation::JobList::erase(std::vector<JobRuntime>& rt,
+                                          JobId job) {
+  JobRuntime& r = rt[job];
+  // The checked removal: membership is asserted via the job's list slot, so
+  // a bookkeeping bug aborts here instead of silently corrupting the list
+  // (the old vector path erased whatever std::find returned, end() included).
+  DMSCHED_ASSERT(r.list == id, "JobList::erase: job is not in this list");
+  DMSCHED_ASSERT(count > 0, "JobList::erase: list count out of sync");
+  if (r.list_prev != kInvalidJobId) {
+    rt[r.list_prev].list_next = r.list_next;
+  } else {
+    head = r.list_next;
+  }
+  if (r.list_next != kInvalidJobId) {
+    rt[r.list_next].list_prev = r.list_prev;
+  } else {
+    tail = r.list_prev;
+  }
+  r.list_prev = kInvalidJobId;
+  r.list_next = kInvalidJobId;
+  r.list = JobListId::kNone;
+  --count;
+}
+
+std::vector<JobId> SchedulingSimulation::JobList::to_vector(
+    const std::vector<JobRuntime>& rt) const {
+  std::vector<JobId> ids;
+  ids.reserve(count);
+  for (JobId j = head; j != kInvalidJobId; j = rt[j].list_next) {
+    ids.push_back(j);
+  }
+  DMSCHED_ASSERT(ids.size() == count, "JobList: link/count mismatch");
+  return ids;
+}
 
 SchedulingSimulation::SchedulingSimulation(ClusterConfig config,
                                            const Trace& trace,
@@ -31,7 +82,7 @@ const Job& SchedulingSimulation::job(JobId id) const {
 }
 
 std::vector<JobId> SchedulingSimulation::queued_jobs() const {
-  std::vector<JobId> ids = queue_;
+  std::vector<JobId> ids = queue_.to_vector(rt_);
   order_queue(ids, trace_.jobs(), options_.queue_order, engine_.now());
   return ids;
 }
@@ -39,7 +90,8 @@ std::vector<JobId> SchedulingSimulation::queued_jobs() const {
 std::vector<RunningJob> SchedulingSimulation::running_jobs() const {
   std::vector<RunningJob> out;
   out.reserve(running_.size());
-  for (JobId id : running_) {
+  for (JobId id = running_.head; id != kInvalidJobId;
+       id = rt_[id].list_next) {
     const JobRuntime& r = rt_[id];
     out.push_back({id, r.expected_end, r.take});
   }
@@ -134,7 +186,7 @@ void SchedulingSimulation::handle_submit(JobId id) {
     return;
   }
   r.state = JobState::kQueued;
-  queue_.push_back(id);
+  queue_.push_back(rt_, id);
   request_schedule_pass();
 }
 
@@ -150,8 +202,8 @@ void SchedulingSimulation::start_job(JobId id, const Allocation& alloc) {
                  "start_job: allocation does not cover the footprint");
 
   cluster_.commit(alloc);
-  queue_.erase(std::find(queue_.begin(), queue_.end(), id));
-  running_.push_back(id);
+  queue_.erase(rt_, id);
+  running_.push_back(rt_, id);
 
   r.state = JobState::kRunning;
   r.start = engine_.now();
@@ -177,7 +229,7 @@ void SchedulingSimulation::handle_complete(JobId id) {
   DMSCHED_ASSERT(r.state == JobState::kRunning, "completion of a non-running job");
   cluster_.release(id);
   if (options_.audit_cluster) cluster_.audit();
-  running_.erase(std::find(running_.begin(), running_.end(), id));
+  running_.erase(rt_, id);
   r.state = JobState::kDone;
   --live_jobs_;
   last_end_ = max(last_end_, engine_.now());

@@ -74,6 +74,12 @@ class SchedulingSimulation final : public SchedContext {
     kDone,      ///< completed or killed
     kRejected,  ///< can never fit this machine
   };
+  /// Which intrusive job list (if any) a job is linked into. The slot makes
+  /// queue/running removal a *checked* O(1) unlink: erase asserts the job is
+  /// a member of the list it is being removed from instead of trusting a
+  /// std::find to have succeeded.
+  enum class JobListId : std::uint8_t { kNone, kQueue, kRunning };
+
   struct JobRuntime {
     JobState state = JobState::kPending;
     SimTime start{};
@@ -84,6 +90,30 @@ class SchedulingSimulation final : public SchedContext {
     TakePlan take;
     Bytes far_rack{};
     Bytes far_global{};
+    /// Intrusive doubly-linked-list slots (a job is in at most one list at a
+    /// time — queued xor running — so one pair of links suffices).
+    JobId list_prev = kInvalidJobId;
+    JobId list_next = kInvalidJobId;
+    JobListId list = JobListId::kNone;
+  };
+
+  /// Intrusive doubly-linked list over the JobRuntime link slots: O(1)
+  /// push_back and O(1) checked erase, with iteration in insertion order —
+  /// byte-identical to the order the old vector kept under
+  /// erase-from-the-middle, which the goldens pin.
+  struct JobList {
+    JobId head = kInvalidJobId;
+    JobId tail = kInvalidJobId;
+    std::size_t count = 0;
+    JobListId id = JobListId::kNone;
+
+    [[nodiscard]] bool empty() const { return count == 0; }
+    [[nodiscard]] std::size_t size() const { return count; }
+    void push_back(std::vector<JobRuntime>& rt, JobId job);
+    void erase(std::vector<JobRuntime>& rt, JobId job);
+    /// Collect ids head → tail (insertion order).
+    [[nodiscard]] std::vector<JobId> to_vector(
+        const std::vector<JobRuntime>& rt) const;
   };
 
   void handle_submit(JobId id);
@@ -100,8 +130,8 @@ class SchedulingSimulation final : public SchedContext {
   sim::Engine engine_;
   Cluster cluster_;
   std::vector<JobRuntime> rt_;
-  std::vector<JobId> queue_;    // waiting, unordered
-  std::vector<JobId> running_;  // running, unordered
+  JobList queue_{.id = JobListId::kQueue};      // waiting, insertion order
+  JobList running_{.id = JobListId::kRunning};  // running, insertion order
   std::size_t live_jobs_ = 0;   // not yet terminal
   bool pass_pending_ = false;
   bool run_called_ = false;

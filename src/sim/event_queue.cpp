@@ -1,75 +1,116 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/assert.hpp"
 
 namespace dmsched::sim {
 
-bool EventQueue::later(const Entry& a, const Entry& b) {
-  if (a.time != b.time) return a.time > b.time;
-  if (a.cls != b.cls) return a.cls > b.cls;
-  return a.seq > b.seq;
+bool EventQueue::before(const Entry& a, const Entry& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.cls != b.cls) return a.cls < b.cls;
+  return a.seq < b.seq;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  Entry e = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = std::move(heap_[parent]);
+    pos_[heap_[i].id - base_] = static_cast<std::uint32_t>(i);
+    i = parent;
+  }
+  heap_[i] = std::move(e);
+  pos_[heap_[i].id - base_] = static_cast<std::uint32_t>(i);
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Entry e = std::move(heap_[i]);
+  for (;;) {
+    const std::size_t first = kArity * i + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    heap_[i] = std::move(heap_[best]);
+    pos_[heap_[i].id - base_] = static_cast<std::uint32_t>(i);
+    i = best;
+  }
+  heap_[i] = std::move(e);
+  pos_[heap_[i].id - base_] = static_cast<std::uint32_t>(i);
+}
+
+void EventQueue::clear_slot(EventId id) {
+  pos_[id - base_] = kNotPending;
+  // Advance past the dead prefix. Each slot is visited at most once after
+  // it dies, so the scan is amortized O(1) per event.
+  while (dead_prefix_ < pos_.size() && pos_[dead_prefix_] == kNotPending) {
+    ++dead_prefix_;
+  }
+  // Physically drop the dead prefix once it dominates the vector, keeping
+  // memory proportional to the live id window (amortized O(1): each
+  // compaction moves at most as many slots as died since the last one).
+  if (dead_prefix_ > 64 && dead_prefix_ > pos_.size() / 2) {
+    pos_.erase(pos_.begin(),
+               pos_.begin() + static_cast<std::ptrdiff_t>(dead_prefix_));
+    base_ += dead_prefix_;
+    dead_prefix_ = 0;
+  }
+}
+
+void EventQueue::remove_at(std::size_t i) {
+  clear_slot(heap_[i].id);
+  const std::size_t last = heap_.size() - 1;
+  if (i == last) {
+    heap_.pop_back();
+    return;
+  }
+  heap_[i] = std::move(heap_[last]);
+  heap_.pop_back();
+  // The filled-in entry came from a leaf; it may belong above or below i.
+  if (i > 0 && before(heap_[i], heap_[(i - 1) / kArity])) {
+    sift_up(i);
+  } else {
+    sift_down(i);
+  }
 }
 
 EventId EventQueue::push(SimTime time, EventClass cls, EventFn fn) {
+  DMSCHED_ASSERT(heap_.size() < kNotPending, "EventQueue: heap full");
   const EventId id = next_id_++;
+  pos_.push_back(kNotPending);  // slot id - base_; set by sift_up below
   heap_.push_back({time, cls, next_seq_++, id, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), later);
-  ++live_;
+  sift_up(heap_.size() - 1);
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
   DMSCHED_ASSERT(id != kInvalidEventId, "cancel(): invalid event id");
-  if (id >= next_id_) return false;
-  // An id not in the heap anymore has already fired; an id in cancelled_
-  // was already cancelled. We cannot distinguish "fired" cheaply, so probe
-  // the tombstone set first and trust callers (engine) to hold live ids.
-  if (cancelled_.contains(id)) return false;
-  const bool pending =
-      std::any_of(heap_.begin(), heap_.end(),
-                  [&](const Entry& e) { return e.id == id; });
-  if (!pending) return false;
-  cancelled_.insert(id);
-  --live_;
+  // The position slot answers "pending?" in O(1): an id below the window
+  // base or at/above next_id_ was fired/cancelled long ago or never issued,
+  // and a dead slot inside the window is fired or already cancelled. Ids
+  // are never reused, so every false is permanent.
+  if (id < base_ || id - base_ >= pos_.size()) return false;
+  const std::uint32_t p = pos_[id - base_];
+  if (p == kNotPending) return false;
+  remove_at(p);
   return true;
 }
 
-void EventQueue::drop_cancelled_front() {
-  while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
-    cancelled_.erase(heap_.front().id);
-    std::pop_heap(heap_.begin(), heap_.end(), later);
-    heap_.pop_back();
-  }
-}
-
-bool EventQueue::empty() const { return live_ == 0; }
-
 SimTime EventQueue::next_time() const {
-  // const_cast-free: scan is not possible without mutation, so replicate
-  // drop logic lazily in pop() and tolerate tombstones here by scanning.
-  if (live_ == 0) return kTimeInfinity;
-  const Entry* best = nullptr;
-  if (!cancelled_.contains(heap_.front().id)) {
-    return heap_.front().time;
-  }
-  for (const auto& e : heap_) {
-    if (cancelled_.contains(e.id)) continue;
-    if (best == nullptr || later(*best, e)) best = &e;
-  }
-  DMSCHED_ASSERT(best != nullptr, "EventQueue: live count out of sync");
-  return best->time;
+  return heap_.empty() ? kTimeInfinity : heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   DMSCHED_ASSERT(!empty(), "EventQueue::pop on empty queue");
-  drop_cancelled_front();
-  DMSCHED_ASSERT(!heap_.empty(), "EventQueue: live count out of sync");
-  std::pop_heap(heap_.begin(), heap_.end(), later);
-  Entry e = std::move(heap_.back());
-  heap_.pop_back();
-  --live_;
+  Entry e = std::move(heap_.front());
+  remove_at(0);
   return {e.id, e.time, e.cls, std::move(e.fn)};
 }
 

@@ -1,9 +1,9 @@
-// Pending-event set: a binary heap with a stable total order and lazy
-// cancellation.
+// Pending-event set: an indexed d-ary min-heap with a stable total order
+// and O(log n) cancellation.
 #pragma once
 
 #include <cstddef>
-#include <unordered_set>
+#include <cstdint>
 #include <vector>
 
 #include "sim/event.hpp"
@@ -13,22 +13,27 @@ namespace dmsched::sim {
 /// Min-heap of events ordered by (time, class, sequence number).
 ///
 /// The sequence number makes the order total and insertion-stable, which is
-/// what makes whole simulations bit-reproducible. Cancellation is lazy: a
-/// cancelled id is skipped at pop time (cancellations are rare — only
-/// walltime kills use them — so tombstones stay cheap).
+/// what makes whole simulations bit-reproducible. The heap is *indexed*: a
+/// handle → heap-position map keeps every pending id addressable, so
+/// `cancel` removes its entry in O(log n) (no tombstones, no scans) and
+/// `next_time()` is the root in O(1). The arity is an internal layout
+/// choice — the comparator's total order fully determines pop order, so
+/// observable behaviour is identical at any d (see src/README.md,
+/// "Determinism is a contract").
 class EventQueue {
  public:
   /// Insert an event; returns its id (never kInvalidEventId).
   EventId push(SimTime time, EventClass cls, EventFn fn);
 
   /// Cancel a pending event. Returns false if it already fired or was
-  /// already cancelled.
+  /// already cancelled (ids are never reused, so a stale id stays false
+  /// forever).
   bool cancel(EventId id);
 
   /// True when no live events remain.
-  [[nodiscard]] bool empty() const;
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
 
-  /// Time of the earliest live event; kTimeInfinity when empty.
+  /// Time of the earliest live event; kTimeInfinity when empty. O(1).
   [[nodiscard]] SimTime next_time() const;
 
   /// Pop the earliest live event. Requires !empty().
@@ -41,9 +46,13 @@ class EventQueue {
   Fired pop();
 
   /// Number of live (non-cancelled) events.
-  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
  private:
+  /// Heap arity. 4 keeps the tree shallow (fewer cache lines per sift)
+  /// while the min-of-children scan stays one cache line of entries.
+  static constexpr std::size_t kArity = 4;
+
   struct Entry {
     SimTime time;
     EventClass cls;
@@ -51,17 +60,35 @@ class EventQueue {
     EventId id;
     EventFn fn;
   };
-  /// Heap ordering: *later* entries compare true so std::push_heap builds a
-  /// min-heap on (time, class, seq).
-  static bool later(const Entry& a, const Entry& b);
+  /// The total order: earlier entries compare true.
+  static bool before(const Entry& a, const Entry& b);
 
-  void drop_cancelled_front();
+  /// Move heap_[i] toward the root/leaves until the heap property holds,
+  /// maintaining pos_ for every entry moved.
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Remove the entry at heap position i (fills the hole with the last
+  /// entry and re-sifts). Clears the id's position slot.
+  void remove_at(std::size_t i);
+
+  /// Mark `id` no longer pending and advance/compact the dead prefix.
+  void clear_slot(EventId id);
 
   std::vector<Entry> heap_;
-  std::unordered_set<EventId> cancelled_;
+  /// The index: heap position per id, or kNotPending once fired/cancelled.
+  /// Ids are issued sequentially, so instead of a hash map this is a dense
+  /// vector over the live id window [base_, base_ + pos_.size()): lookups
+  /// are one subtract + one load, with no hashing on the push/pop hot path.
+  /// base_ advances past the all-dead prefix (amortized O(1) — each slot is
+  /// scanned once after it dies, and physical compaction halves the vector),
+  /// so memory tracks the window between the oldest and newest pending id,
+  /// not the total events ever pushed.
+  static constexpr std::uint32_t kNotPending = UINT32_MAX;
+  std::vector<std::uint32_t> pos_;
+  EventId base_ = 1;
+  std::size_t dead_prefix_ = 0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
-  std::size_t live_ = 0;
 };
 
 }  // namespace dmsched::sim

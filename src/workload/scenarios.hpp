@@ -54,6 +54,11 @@ struct ScenarioInfo {
   /// The policy ordering the scenario is designed to exhibit, as a
   /// human-readable claim (validated by tests/golden/).
   std::string expected_ordering;
+  /// True for scale/throughput workloads (e.g. large-replay's 100k-job
+  /// default) rather than paper-figure regimes. Consumers that loop
+  /// scenario_names() and *run* every scenario (policy tables, sweeps)
+  /// should skip infrastructure scenarios unless scale is the point.
+  bool infrastructure = false;
 };
 
 /// A fully built scenario: the machine, the workload, and the reference

@@ -1,0 +1,88 @@
+// Smoke coverage for the large-replay scenario in the golden suite.
+//
+// large-replay is sim-throughput infrastructure: the mixed-swf day
+// replicated to 100k jobs (bench/sim_throughput replays its prefixes). The
+// golden suite does NOT pin metrics for it — the unscaled golden tables are
+// untouched by its existence (see tests/golden/README.md) — but it does
+// enforce, on a capped prefix small enough for sanitizer runs:
+//  1. the registry entry exists and is documented;
+//  2. a replay drains: every job reaches a terminal state, audited;
+//  3. two independent builds + runs are byte-identical (the determinism
+//     contract holds at replication scale, not just at 240 jobs).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sweep.hpp"
+
+namespace dmsched {
+namespace {
+
+// Big enough that the event heap is thousands deep and replication wraps
+// the base day ~84 times; small enough for ASan/UBSan/TSan jobs.
+constexpr std::size_t kSmokeJobs = 2500;
+
+Scenario smoke_scenario() {
+  return make_scenario("large-replay", {.jobs = kSmokeJobs});
+}
+
+TEST(LargeReplaySmoke, RegistryEntryIsDocumented) {
+  ASSERT_TRUE(scenario_exists("large-replay"));
+  const ScenarioInfo& info = scenario_info("large-replay");
+  EXPECT_EQ(info.name, "large-replay");
+  EXPECT_FALSE(info.summary.empty());
+  EXPECT_FALSE(info.paper_figure.empty());
+  EXPECT_FALSE(info.expected_ordering.empty());
+}
+
+TEST(LargeReplaySmoke, CappedReplayDrainsUnderAudit) {
+  const Scenario scenario = smoke_scenario();
+  ASSERT_EQ(scenario.trace.size(), kSmokeJobs);
+  std::vector<ExperimentConfig> configs;
+  for (const SchedulerKind kind :
+       {SchedulerKind::kEasy, SchedulerKind::kMemAwareEasy}) {
+    ExperimentConfig c = scenario_experiment(scenario, kind);
+    c.engine.audit_cluster = true;
+    configs.push_back(c);
+  }
+  const auto results = run_sweep_on_trace(configs, scenario.trace);
+  ASSERT_EQ(results.size(), configs.size());
+  for (const RunMetrics& m : results) {
+    SCOPED_TRACE(m.label);
+    // Every submitted job must reach a terminal state.
+    EXPECT_EQ(m.completed + m.killed + m.rejected, kSmokeJobs);
+    EXPECT_EQ(m.jobs.size(), kSmokeJobs);
+    EXPECT_GT(m.makespan.usec(), 0);
+    EXPECT_GT(m.node_utilization, 0.0);
+  }
+}
+
+TEST(LargeReplaySmoke, ReplayIsByteIdenticalAcrossBuilds) {
+  // Two *independent* scenario constructions and runs: the trace build
+  // (replication, truncation, arrival scaling) and the replay must both be
+  // deterministic end to end.
+  const Scenario a = smoke_scenario();
+  const Scenario b = smoke_scenario();
+  const RunMetrics ma = run_scenario(a, SchedulerKind::kEasy);
+  const RunMetrics mb = run_scenario(b, SchedulerKind::kEasy);
+  ASSERT_EQ(ma.jobs.size(), mb.jobs.size());
+  for (std::size_t i = 0; i < ma.jobs.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "job " << i);
+    EXPECT_EQ(ma.jobs[i].fate, mb.jobs[i].fate);
+    EXPECT_EQ(ma.jobs[i].submit.usec(), mb.jobs[i].submit.usec());
+    EXPECT_EQ(ma.jobs[i].start.usec(), mb.jobs[i].start.usec());
+    EXPECT_EQ(ma.jobs[i].end.usec(), mb.jobs[i].end.usec());
+    EXPECT_EQ(ma.jobs[i].dilation, mb.jobs[i].dilation);
+    EXPECT_EQ(ma.jobs[i].far_rack, mb.jobs[i].far_rack);
+    EXPECT_EQ(ma.jobs[i].far_global, mb.jobs[i].far_global);
+  }
+  EXPECT_EQ(ma.makespan.usec(), mb.makespan.usec());
+  EXPECT_EQ(ma.completed, mb.completed);
+  EXPECT_EQ(ma.rejected, mb.rejected);
+  EXPECT_EQ(ma.mean_wait_hours, mb.mean_wait_hours);
+  EXPECT_EQ(ma.mean_bsld, mb.mean_bsld);
+  EXPECT_EQ(ma.node_utilization, mb.node_utilization);
+}
+
+}  // namespace
+}  // namespace dmsched

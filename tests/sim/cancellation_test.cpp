@@ -1,0 +1,230 @@
+// Heavy-cancellation regression net for the event core.
+//
+// The indexed heap replaced the lazy-tombstone heap (see
+// src/sim/event_queue.cpp); these tests pin the *observable* contract the
+// rewrite must preserve under cancellation pressure:
+//  - drained event order is exactly the (time, class, seq) total order over
+//    the surviving events, checked against an independently computed
+//    reference model;
+//  - run_until() interleaved with cancellation fires the same events at the
+//    same clock readings, horizon by horizon, even when the earliest
+//    pending event is repeatedly the one cancelled (the old front-tombstone
+//    worst case that made next_time() a linear scan).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace dmsched::sim {
+namespace {
+
+/// Deterministic xorshift so the "random" schedule is identical in every
+/// build (the simulation paths themselves must never use randomness).
+struct XorShift {
+  std::uint64_t x = 88172645463325252ULL;
+  std::uint64_t next() {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  }
+};
+
+struct PlannedEvent {
+  std::int64_t time_usec;
+  EventClass cls;
+  std::uint64_t seq;  // insertion order — the final tie-break
+  int tag;
+  bool cancelled = false;
+};
+
+constexpr EventClass kClasses[] = {EventClass::kCompletion,
+                                   EventClass::kSubmission, EventClass::kTimer,
+                                   EventClass::kSchedule};
+
+/// The reference model: the (time, class, seq) total order over survivors.
+std::vector<int> expected_order(std::vector<PlannedEvent> plan) {
+  std::erase_if(plan, [](const PlannedEvent& e) { return e.cancelled; });
+  std::sort(plan.begin(), plan.end(),
+            [](const PlannedEvent& a, const PlannedEvent& b) {
+              return std::tuple(a.time_usec, a.cls, a.seq) <
+                     std::tuple(b.time_usec, b.cls, b.seq);
+            });
+  std::vector<int> tags;
+  tags.reserve(plan.size());
+  for (const PlannedEvent& e : plan) tags.push_back(e.tag);
+  return tags;
+}
+
+TEST(Cancellation, DrainOrderMatchesTheTotalOrderModel) {
+  // 2000 events at clustered timestamps (heavy ties), ~40% cancelled in a
+  // deterministic pattern, including long runs of cancelled heap fronts.
+  constexpr int kEvents = 2000;
+  XorShift rng;
+  Engine engine;
+  std::vector<PlannedEvent> plan;
+  std::vector<EventId> ids;
+  std::vector<int> fired;
+  plan.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    // Only 50 distinct timestamps, so class and seq tie-breaks carry real
+    // weight in the drain order.
+    const auto t = static_cast<std::int64_t>(rng.next() % 50) * 1'000'000;
+    const EventClass cls = kClasses[rng.next() % 4];
+    plan.push_back({t, cls, static_cast<std::uint64_t>(i), i});
+    ids.push_back(engine.schedule_at(usec(t), cls,
+                                     [&fired, i](SimTime) {
+                                       fired.push_back(i);
+                                     }));
+  }
+  XorShift cancel_rng;
+  cancel_rng.x = 1234567891234567ULL;
+  for (int i = 0; i < kEvents; ++i) {
+    if (cancel_rng.next() % 5 < 2) {
+      EXPECT_TRUE(engine.cancel(ids[static_cast<std::size_t>(i)]));
+      plan[static_cast<std::size_t>(i)].cancelled = true;
+    }
+  }
+  engine.run();
+  EXPECT_EQ(fired, expected_order(plan));
+}
+
+TEST(Cancellation, RunUntilInterleavedWithCancellationKeepsOrder) {
+  // Satellite regression: run_until() consults next_time() every iteration;
+  // with the tombstone heap that was O(n) whenever the front was cancelled.
+  // Cancel the earliest pending event before *every* horizon step and check
+  // the drained order against the model.
+  constexpr int kEvents = 600;
+  Engine engine;
+  std::vector<PlannedEvent> plan;
+  std::vector<EventId> ids;
+  std::vector<int> fired;
+  std::vector<std::int64_t> fired_clock;
+  XorShift rng;
+  for (int i = 0; i < kEvents; ++i) {
+    const auto t =
+        static_cast<std::int64_t>(rng.next() % 120 + 1) * 1'000'000;
+    const EventClass cls = kClasses[rng.next() % 4];
+    plan.push_back({t, cls, static_cast<std::uint64_t>(i), i});
+    ids.push_back(engine.schedule_at(usec(t), cls, [&, i](SimTime now) {
+      fired.push_back(i);
+      fired_clock.push_back(now.usec());
+    }));
+  }
+  // Walk the horizon forward in 10-second steps; before each step, cancel
+  // the earliest *live* planned events (the heap front, repeatedly).
+  auto earliest_live = [&]() -> int {
+    int best = -1;
+    for (int i = 0; i < kEvents; ++i) {
+      const auto& e = plan[static_cast<std::size_t>(i)];
+      if (e.cancelled) continue;
+      if (std::find(fired.begin(), fired.end(), i) != fired.end()) continue;
+      if (best < 0 ||
+          std::tuple(e.time_usec, e.cls, e.seq) <
+              std::tuple(plan[static_cast<std::size_t>(best)].time_usec,
+                         plan[static_cast<std::size_t>(best)].cls,
+                         plan[static_cast<std::size_t>(best)].seq)) {
+        best = i;
+      }
+    }
+    return best;
+  };
+  for (std::int64_t horizon = 10; horizon <= 130; horizon += 10) {
+    for (int k = 0; k < 3; ++k) {
+      const int front = earliest_live();
+      if (front < 0) break;
+      EXPECT_TRUE(engine.cancel(ids[static_cast<std::size_t>(front)]));
+      plan[static_cast<std::size_t>(front)].cancelled = true;
+    }
+    engine.run_until(seconds(horizon));
+    EXPECT_EQ(engine.now(), seconds(horizon));
+  }
+  EXPECT_EQ(fired, expected_order(plan));
+  // Every event fired at its scheduled time, in nondecreasing clock order.
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired_clock[i],
+              plan[static_cast<std::size_t>(fired[i])].time_usec);
+    if (i > 0) {
+      EXPECT_GE(fired_clock[i], fired_clock[i - 1]);
+    }
+  }
+}
+
+TEST(Cancellation, HandlersMayCancelPendingEventsMidDrain) {
+  // Cancellation from inside a handler (the walltime-kill pattern: a
+  // completion cancels the pending kill) must take effect immediately.
+  Engine engine;
+  int kills_fired = 0;
+  int completions = 0;
+  constexpr int kJobs = 200;
+  for (int j = 0; j < kJobs; ++j) {
+    const std::int64_t start = j * 10;
+    const EventId kill = engine.schedule_at(
+        seconds(start + 100), EventClass::kTimer,
+        [&kills_fired](SimTime) { ++kills_fired; });
+    engine.schedule_at(seconds(start + 50), EventClass::kCompletion,
+                       [&engine, &completions, kill](SimTime) {
+                         ++completions;
+                         EXPECT_TRUE(engine.cancel(kill));
+                       });
+  }
+  engine.run();
+  EXPECT_EQ(completions, kJobs);
+  EXPECT_EQ(kills_fired, 0) << "a cancelled walltime kill still fired";
+}
+
+TEST(Cancellation, CancelOfFiredIdsStaysFalseUnderChurn) {
+  // 5000 push/step/cancel rounds: every event gets exactly one `true`
+  // answer lifetime-wide — it either fires or is cancelled once, never
+  // both — and cancel() on fired or cancelled ids stays false forever.
+  Engine engine;
+  XorShift rng;
+  std::vector<EventId> id_of;       // tag (index) → event id
+  std::vector<int> live_tags;       // scheduled, not fired, not cancelled
+  std::vector<EventId> dead;        // successfully cancelled ids
+  std::vector<int> newly_fired;     // filled by handlers
+  int fired = 0;
+  for (int round = 0; round < 5000; ++round) {
+    const std::uint64_t r = rng.next() % 3;
+    if (r == 0 || live_tags.empty()) {
+      const int tag = static_cast<int>(id_of.size());
+      const SimTime at =
+          engine.now() +
+          seconds(static_cast<std::int64_t>(rng.next() % 5 + 1));
+      id_of.push_back(engine.schedule_at(at, EventClass::kTimer,
+                                         [&, tag](SimTime) {
+                                           ++fired;
+                                           newly_fired.push_back(tag);
+                                         }));
+      live_tags.push_back(tag);
+    } else if (r == 1) {
+      const std::size_t k = rng.next() % live_tags.size();
+      const int tag = live_tags[k];
+      EXPECT_TRUE(engine.cancel(id_of[static_cast<std::size_t>(tag)]));
+      dead.push_back(id_of[static_cast<std::size_t>(tag)]);
+      live_tags.erase(live_tags.begin() + static_cast<std::ptrdiff_t>(k));
+    } else {
+      (void)engine.step();
+      for (const int tag : newly_fired) {
+        std::erase(live_tags, tag);
+        // A fired id answers false from then on.
+        EXPECT_FALSE(engine.cancel(id_of[static_cast<std::size_t>(tag)]));
+      }
+      newly_fired.clear();
+    }
+    if (!dead.empty() && round % 7 == 0) {
+      EXPECT_FALSE(engine.cancel(dead[rng.next() % dead.size()]));
+    }
+  }
+  const int fired_before = fired;
+  for (const EventId id : dead) EXPECT_FALSE(engine.cancel(id));
+  engine.run();
+  EXPECT_EQ(fired, fired_before + static_cast<int>(live_tags.size()));
+}
+
+}  // namespace
+}  // namespace dmsched::sim

@@ -104,6 +104,71 @@ TEST(EventQueue, PopSkipsCancelledFront) {
   EXPECT_EQ(q.pop().time, seconds(std::int64_t{2}));
 }
 
+// The cancel() semantics matrix, pinned so a queue rewrite cannot drift:
+// cancel-of-pending → true (exactly once), cancel-of-fired → false,
+// double-cancel → false, never-issued id → false. Ids are never reused, so
+// every answer is permanent.
+TEST(EventQueue, CancelSemanticsMatrix) {
+  EventQueue q;
+  const EventId fired =
+      q.push(seconds(std::int64_t{1}), EventClass::kTimer, noop());
+  const EventId pending =
+      q.push(seconds(std::int64_t{2}), EventClass::kTimer, noop());
+  const EventId cancelled =
+      q.push(seconds(std::int64_t{3}), EventClass::kTimer, noop());
+
+  EXPECT_EQ(q.pop().id, fired);
+
+  EXPECT_FALSE(q.cancel(fired)) << "cancel of a fired id";
+  EXPECT_TRUE(q.cancel(cancelled)) << "cancel of a pending id";
+  EXPECT_FALSE(q.cancel(cancelled)) << "double cancel";
+  EXPECT_FALSE(q.cancel(fired + 1000)) << "never-issued id";
+  EXPECT_TRUE(q.cancel(pending)) << "remaining pending id";
+  EXPECT_FALSE(q.cancel(pending)) << "double cancel after drain";
+  EXPECT_TRUE(q.empty());
+  // Answers stay permanent even after new pushes (no id reuse).
+  q.push(seconds(std::int64_t{4}), EventClass::kTimer, noop());
+  EXPECT_FALSE(q.cancel(fired));
+  EXPECT_FALSE(q.cancel(cancelled));
+}
+
+TEST(EventQueue, SizeTracksCancellationsImmediately) {
+  // No tombstones: a cancelled event leaves size() and next_time() at once,
+  // not lazily at pop time.
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(
+        q.push(seconds(std::int64_t{i + 1}), EventClass::kTimer, noop()));
+  }
+  for (int i = 0; i < 16; i += 2) EXPECT_TRUE(q.cancel(ids[i]));
+  EXPECT_EQ(q.size(), 8u);
+  EXPECT_EQ(q.next_time(), seconds(std::int64_t{2}));
+  int popped = 0;
+  while (!q.empty()) {
+    const auto f = q.pop();
+    EXPECT_EQ(f.time.usec() / 1'000'000 % 2, 0) << "cancelled event fired";
+    ++popped;
+  }
+  EXPECT_EQ(popped, 8);
+}
+
+TEST(EventQueue, CancelEverythingLeavesAnEmptyQueue) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(
+        q.push(seconds(std::int64_t{100 - i}), EventClass::kTimer, noop()));
+  }
+  for (const EventId id : ids) EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), kTimeInfinity);
+  // The queue is still usable afterwards.
+  q.push(seconds(std::int64_t{1}), EventClass::kTimer, noop());
+  EXPECT_EQ(q.pop().time, seconds(std::int64_t{1}));
+}
+
 TEST(EventQueue, ManyEventsStressOrder) {
   EventQueue q;
   // pseudo-random times, verify nondecreasing pop order

@@ -31,7 +31,8 @@ TEST(ScenarioRegistry, ListsTheStandardLibrary) {
   const auto names = scenario_names();
   const std::vector<std::string> expected = {
       "golden-baseline", "memory-stressed", "pool-contended",
-      "bursty-arrivals", "wide-jobs",       "mixed-swf"};
+      "bursty-arrivals", "wide-jobs",       "mixed-swf",
+      "large-replay"};
   EXPECT_EQ(names, expected);
   for (const std::string& name : names) {
     EXPECT_TRUE(scenario_exists(name)) << name;
@@ -231,6 +232,51 @@ TEST(MixedSwfScenario, EmbeddedFixtureMatchesTheBundledSwfFile) {
     EXPECT_EQ(s.trace.jobs()[i].walltime.usec(),
               file.trace.jobs()[i].walltime.usec());
     EXPECT_EQ(s.trace.jobs()[i].user, file.trace.jobs()[i].user);
+  }
+}
+
+TEST(LargeReplayScenario, DefaultsToProductionScale) {
+  // The scenario exists to replay 10^5-job traces; the default must stay at
+  // that scale or bench/sim_throughput quietly stops measuring anything.
+  const Scenario s = make_scenario("large-replay");
+  EXPECT_GE(s.trace.size(), 100000u);
+  // Below saturation by design: throughput measures the event core, not a
+  // scheduler walking an unbounded backlog.
+  EXPECT_LT(s.trace.offered_load(s.cluster.total_nodes), 1.0);
+}
+
+TEST(LargeReplayScenario, SharesTheMixedSwfMachineAndDay) {
+  // Same machine shape and the same bundled day as mixed-swf — only the
+  // replication depth and the load target differ. Submit times are
+  // load-scaled, so compare the shape fields of the first base period.
+  const Scenario large = make_scenario("large-replay", {.jobs = 30});
+  const Scenario swf = make_scenario("mixed-swf", {.jobs = 30});
+  EXPECT_EQ(large.cluster.total_nodes, swf.cluster.total_nodes);
+  EXPECT_EQ(large.cluster.nodes_per_rack, swf.cluster.nodes_per_rack);
+  EXPECT_EQ(large.cluster.local_mem_per_node, swf.cluster.local_mem_per_node);
+  EXPECT_EQ(large.cluster.pool_per_rack, swf.cluster.pool_per_rack);
+  EXPECT_EQ(large.cluster.global_pool, swf.cluster.global_pool);
+  ASSERT_EQ(large.trace.size(), swf.trace.size());
+  for (std::size_t i = 0; i < large.trace.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "job " << i);
+    EXPECT_EQ(large.trace.jobs()[i].nodes, swf.trace.jobs()[i].nodes);
+    EXPECT_EQ(large.trace.jobs()[i].mem_per_node,
+              swf.trace.jobs()[i].mem_per_node);
+    EXPECT_EQ(large.trace.jobs()[i].runtime.usec(),
+              swf.trace.jobs()[i].runtime.usec());
+    EXPECT_EQ(large.trace.jobs()[i].walltime.usec(),
+              swf.trace.jobs()[i].walltime.usec());
+  }
+}
+
+TEST(LargeReplayScenario, CappedBuildsAreCheapAndExact) {
+  // bench/sim_throughput and the golden smoke test replay capped prefixes;
+  // the cap must hit the requested size exactly at any value.
+  for (const std::size_t jobs : {1000u, 2500u, 10000u}) {
+    SCOPED_TRACE(::testing::Message() << "jobs " << jobs);
+    const Scenario s = make_scenario(
+        "large-replay", {.jobs = jobs});
+    EXPECT_EQ(s.trace.size(), jobs);
   }
 }
 
