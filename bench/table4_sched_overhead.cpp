@@ -101,6 +101,9 @@ class PassContext final : public SchedContext {
   [[nodiscard]] const SlowdownModel& slowdown() const override {
     return slowdown_;
   }
+  [[nodiscard]] const Topology& topology() const override {
+    return topology_;
+  }
   void start_job(JobId, const Allocation&) override { ++starts_; }
 
   [[nodiscard]] std::size_t starts() const { return starts_; }
@@ -108,6 +111,7 @@ class PassContext final : public SchedContext {
  private:
   ClusterConfig config_;
   Cluster cluster_;
+  Topology topology_{config_};
   SimTime now_{};
   PlacementPolicy placement_{};
   SlowdownModel slowdown_{};

@@ -1,0 +1,86 @@
+// Topology placement study — rack-scale provisioning under the named
+// placement strategies.
+//
+// Two axes on the topology scenarios (rack-local, tiered-contended):
+//
+//  1. Placement strategy (local-first | balanced | global-fallback), every
+//     scheduler-relevant metric side by side — the discrimination claim
+//     pinned by tests/golden/topology_placement_test.cpp, at bench width.
+//  2. The rack-scale-vs-system-wide ablation: the same machine flattened to
+//     one global pool (topology/flatten_to_global), quantifying what the
+//     rack tier's shorter distance buys at identical capacity.
+//
+// Writes topology_placement.csv beside the binary (one row per scenario ×
+// machine-shape × strategy) in the fig-style schema the golden suite's CI
+// artifact uses.
+#include "bench_util.hpp"
+#include "topology/placement_policy.hpp"
+#include "topology/topology.hpp"
+
+int main() {
+  using namespace dmsched;
+  using namespace dmsched::bench;
+
+  ConsoleTable table(
+      "Topology placement — strategies × rack-scale vs system-wide");
+  table.columns({"scenario", "machine", "placement", "makespan (h)",
+                 "wait (h)", "bsld", "dilation", "remote", "global",
+                 "rack peak", "rejected"});
+  auto csv = csv_for("topology_placement");
+  csv.header({"scenario", "machine", "placement", "makespan_h", "mean_wait_h",
+              "mean_bsld", "mean_dilation", "remote_access", "global_access",
+              "rack_pool_busiest_peak", "completed", "rejected"});
+
+  for (const std::string& name : {std::string("rack-local"),
+                                  std::string("tiered-contended")}) {
+    const Scenario scenario = make_scenario(name);
+    // The published rack-scale machine, plus the system-wide ablation: all
+    // disaggregated bytes in one global pool, capacity identical.
+    struct Shape {
+      const char* label;
+      ClusterConfig cluster;
+    };
+    const std::vector<Shape> shapes = {
+        {"rack-scale", scenario.cluster},
+        {"system-wide", flatten_to_global(scenario.cluster)},
+    };
+    for (const Shape& shape : shapes) {
+      std::vector<ExperimentConfig> configs;
+      for (const PlacementStrategy strategy : all_placement_strategies()) {
+        ExperimentConfig c =
+            scenario_experiment(scenario, SchedulerKind::kMemAwareEasy);
+        c.cluster = shape.cluster;
+        c.engine.placement = make_placement(strategy);
+        c.label = name + "/" + shape.label + "/" + to_string(strategy);
+        configs.push_back(std::move(c));
+      }
+      const auto results = run_sweep_on_trace(configs, scenario.trace);
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunMetrics& m = results[i];
+        const char* strategy = to_string(all_placement_strategies()[i]);
+        table.row({scenario.info.name, shape.label, strategy,
+                   f1(m.makespan.hours()), f2(m.mean_wait_hours),
+                   f2(m.mean_bsld), f3(m.mean_dilation),
+                   pct(m.remote_access_fraction),
+                   pct(m.global_access_fraction),
+                   pct(m.rack_pool_busiest_peak), num(m.rejected)});
+        csv.add(scenario.info.name)
+            .add(shape.label)
+            .add(strategy)
+            .add(m.makespan.hours())
+            .add(m.mean_wait_hours)
+            .add(m.mean_bsld)
+            .add(m.mean_dilation)
+            .add(m.remote_access_fraction)
+            .add(m.global_access_fraction)
+            .add(m.rack_pool_busiest_peak)
+            .add(m.completed)
+            .add(m.rejected);
+        csv.end_row();
+      }
+      table.separator();
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -30,7 +30,20 @@ int main(int argc, char** argv) {
     ScenarioParams params;
     params.jobs = static_cast<std::size_t>(cli.get_int("jobs"));
     params.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-    scenario = make_scenario(cli.get_string("scenario"), params);
+    const std::string name = cli.get_string("scenario");
+    // Infrastructure scenarios default to scale-sized workloads
+    // (large-replay: 100k jobs); a five-policy sweep over one is throughput
+    // work, not a comparison table. Opt in with an explicit --jobs.
+    if (scenario_exists(name) && scenario_info(name).infrastructure &&
+        params.jobs == 0) {
+      std::fprintf(stderr,
+                   "error: \"%s\" is an infrastructure scenario (its default "
+                   "workload is scale-sized); pass an explicit --jobs to "
+                   "compare policies on it anyway\n",
+                   name.c_str());
+      return 1;
+    }
+    scenario = make_scenario(name, params);
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -54,6 +54,17 @@ Bytes Cluster::rack_pools_used() const {
   return total;
 }
 
+Bytes Cluster::pool_used(RackId r) const {
+  DMSCHED_ASSERT(r >= 0 && r < config_.racks(), "rack id out of range");
+  return pool_used_[static_cast<std::size_t>(r)];
+}
+
+Bytes Cluster::busiest_rack_pool_used() const {
+  Bytes peak{};
+  for (const Bytes& b : pool_used_) peak = max(peak, b);
+  return peak;
+}
+
 std::vector<NodeId> Cluster::free_nodes_in_rack_lowest(
     RackId r, std::int32_t count) const {
   DMSCHED_ASSERT(r >= 0 && r < config_.racks(), "rack id out of range");

@@ -38,6 +38,11 @@ class Cluster {
   }
   /// Total bytes currently drawn across all rack pools.
   [[nodiscard]] Bytes rack_pools_used() const;
+  /// Bytes currently drawn from rack `r`'s pool.
+  [[nodiscard]] Bytes pool_used(RackId r) const;
+  /// Bytes drawn in the single busiest rack pool right now — the
+  /// rack-imbalance signal topology studies report.
+  [[nodiscard]] Bytes busiest_rack_pool_used() const;
   /// Bytes currently drawn from the global pool.
   [[nodiscard]] Bytes global_pool_used() const { return global_used_; }
 

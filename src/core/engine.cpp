@@ -68,6 +68,7 @@ SchedulingSimulation::SchedulingSimulation(ClusterConfig config,
       scheduler_(std::move(scheduler)),
       options_(options),
       cluster_(config_),
+      topology_(config_),
       rt_(trace.size()) {
   DMSCHED_ASSERT(scheduler_ != nullptr, "simulation needs a scheduler");
   metrics_.label = std::string(scheduler_->name()) + "/" + config_.name;
@@ -105,6 +106,8 @@ PlacementPolicy SchedulingSimulation::placement() const {
 const SlowdownModel& SchedulingSimulation::slowdown() const {
   return options_.slowdown;
 }
+
+const Topology& SchedulingSimulation::topology() const { return topology_; }
 
 TakePlan SchedulingSimulation::take_from_allocation(const Allocation& alloc,
                                                     const ClusterConfig& cfg) {
@@ -146,6 +149,10 @@ void SchedulingSimulation::record_usage_change() {
   busy_nodes_tw_.record(t, static_cast<double>(cluster_.busy_nodes()));
   rack_pool_tw_.record(t, static_cast<double>(cluster_.rack_pools_used().count()));
   global_pool_tw_.record(t, static_cast<double>(cluster_.global_pool_used().count()));
+  if (topology_.has_rack_tier()) {
+    busiest_rack_pool_peak_ =
+        max(busiest_rack_pool_peak_, cluster_.busiest_rack_pool_used());
+  }
 }
 
 void SchedulingSimulation::sample_series() {
@@ -266,14 +273,16 @@ RunMetrics SchedulingSimulation::run() {
     metrics_.node_utilization = busy_nodes_tw_.finish(horizon) /
                                 static_cast<double>(config_.total_nodes);
     const double rack_capacity =
-        static_cast<double>((config_.pool_per_rack * config_.racks()).count());
+        static_cast<double>(topology_.rack_tier_capacity().count());
     if (rack_capacity > 0.0) {
       metrics_.rack_pool_utilization =
           rack_pool_tw_.finish(horizon) / rack_capacity;
       metrics_.rack_pool_peak = rack_pool_tw_.peak() / rack_capacity;
+      metrics_.rack_pool_busiest_peak =
+          ratio(busiest_rack_pool_peak_, config_.pool_per_rack);
     }
     const double global_capacity =
-        static_cast<double>(config_.global_pool.count());
+        static_cast<double>(topology_.global_tier_capacity().count());
     if (global_capacity > 0.0) {
       metrics_.global_pool_utilization =
           global_pool_tw_.finish(horizon) / global_capacity;

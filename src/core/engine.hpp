@@ -10,6 +10,7 @@
 #include "core/metrics.hpp"
 #include "memory/placement.hpp"
 #include "memory/slowdown.hpp"
+#include "topology/topology.hpp"
 #include "sched/queue_policy.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
@@ -60,6 +61,7 @@ class SchedulingSimulation final : public SchedContext {
   [[nodiscard]] std::vector<RunningJob> running_jobs() const override;
   [[nodiscard]] PlacementPolicy placement() const override;
   [[nodiscard]] const SlowdownModel& slowdown() const override;
+  [[nodiscard]] const Topology& topology() const override;
   void start_job(JobId id, const Allocation& alloc) override;
 
   /// Counted resource view of an allocation (exposed for tests).
@@ -129,6 +131,7 @@ class SchedulingSimulation final : public SchedContext {
 
   sim::Engine engine_;
   Cluster cluster_;
+  Topology topology_;  ///< the machine's rack-scale memory model
   std::vector<JobRuntime> rt_;
   JobList queue_{.id = JobListId::kQueue};      // waiting, insertion order
   JobList running_{.id = JobListId::kRunning};  // running, insertion order
@@ -140,6 +143,7 @@ class SchedulingSimulation final : public SchedContext {
   TimeWeightedMean busy_nodes_tw_;
   TimeWeightedMean rack_pool_tw_;
   TimeWeightedMean global_pool_tw_;
+  Bytes busiest_rack_pool_peak_{};  ///< max single-rack pool draw observed
   SimTime last_end_{};
 };
 

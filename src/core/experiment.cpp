@@ -30,6 +30,10 @@ ExperimentConfig scenario_experiment(const Scenario& scenario,
   c.scheduler = kind;
   c.jobs = scenario.trace.size();
   c.workload_reference_mem = scenario.workload_reference_mem;
+  // Scenarios carry the resolved remote-penalty multiplier (they sit below
+  // memory/ and cannot name SlowdownModel); 1.0 is a bit-identical no-op.
+  c.engine.slowdown = c.engine.slowdown.with_remote_penalty(
+      scenario.remote_penalty);
   return c;
 }
 

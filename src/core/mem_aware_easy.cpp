@@ -107,6 +107,35 @@ std::vector<Reservation> place_reservations(FreeProfile& profile,
   return reservations;
 }
 
+/// Tier-headroom shield: true when starting `take` now would leave each
+/// pool tier at least `reserve` of its capacity free. Reads the remaining
+/// capacity through the topology model, so the check is about *tiers*, not
+/// individual racks — the rack tier is judged in aggregate (a balanced
+/// machine can concentrate its remaining bytes in one rack and still serve
+/// the head), the global tier on its own.
+bool leaves_tier_headroom(const SchedContext& ctx, const ResourceState& state,
+                          const TakePlan& take, double reserve) {
+  const Topology& topo = ctx.topology();
+  const TierHeadroom head = topo.headroom(state);
+  if (topo.has_rack_tier()) {
+    const Bytes floor{static_cast<std::int64_t>(
+        static_cast<double>(topo.rack_tier_capacity().count()) * reserve)};
+    if (head.rack_pool_free - min(head.rack_pool_free, take.rack_pool_total())
+        < floor) {
+      return false;
+    }
+  }
+  if (topo.has_global_tier()) {
+    const Bytes floor{static_cast<std::int64_t>(
+        static_cast<double>(topo.global_tier_capacity().count()) * reserve)};
+    if (head.global_free - min(head.global_free, take.global_total()) <
+        floor) {
+      return false;
+    }
+  }
+  return true;
+}
+
 /// True when `fresh` does not delay any job relative to `baseline`
 /// (pairwise by index: same jobs, same order).
 bool no_regression(const std::vector<Reservation>& baseline,
@@ -191,9 +220,18 @@ void MemAwareEasyScheduler::schedule(SchedContext& ctx) {
     if (examined >= options_.backfill_window) break;
     ++examined;
     const Job& cand = ctx.job(cid);
-    auto take = compute_take(profile.state_at(now), config, cand,
-                             ctx.placement());
+    const ResourceState state_now = profile.state_at(now);
+    auto take = compute_take(state_now, config, cand, ctx.placement());
     if (!take) continue;
+
+    // Tier-headroom shield: skip backfills that would drain a pool tier
+    // below the configured reserve (kept for the protected queue front).
+    if (options_.reserve_headroom > 0.0 &&
+        !take->far_per_node.is_zero() &&
+        !leaves_tier_headroom(ctx, state_now, *take,
+                              options_.reserve_headroom)) {
+      continue;
+    }
 
     const double dil = ctx.slowdown().dilation_bytes(
         take->rack_pool_total(), take->global_total(), cand.total_mem(),

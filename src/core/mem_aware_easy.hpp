@@ -48,6 +48,12 @@ struct MemAwareOptions {
   /// Deferral must win by at least this margin (seconds) — hysteresis so
   /// marginal predictions do not hold resources idle.
   double adaptive_margin_sec = 0.0;
+  /// Tier-headroom shield: a *backfill* may not push a pool tier's remaining
+  /// free capacity below this fraction of the tier (rack tier in aggregate,
+  /// global tier separately) — the headroom is read from the topology model
+  /// (Topology::headroom) and kept for the reserved queue front, which
+  /// starts regardless. 0 (default) disables the shield.
+  double reserve_headroom = 0.0;
 };
 
 /// Memory-aware EASY backfilling (see file header).

@@ -19,6 +19,10 @@ void RunMetrics::finalize() {
   StreamingStats dilation_stats;
   std::size_t started = 0;
   std::size_t far_jobs = 0;
+  std::size_t global_jobs = 0;
+  Bytes footprint_total{};
+  Bytes far_bytes_total{};
+  Bytes global_bytes_total{};
   far_gib_hours = 0.0;
   for (const JobOutcome& j : jobs) {
     switch (j.fate) {
@@ -37,6 +41,10 @@ void RunMetrics::finalize() {
     bsld.add(j.bounded_slowdown());
     dilation_stats.add(j.dilation);
     if (j.used_far_memory()) ++far_jobs;
+    if (!j.far_global.is_zero()) ++global_jobs;
+    footprint_total += j.mem_per_node * j.nodes;
+    far_bytes_total += j.far_total();
+    global_bytes_total += j.far_global;
     far_gib_hours += j.far_total().gib() * (j.end - j.start).hours();
   }
   mean_wait_hours = wait_h.mean();
@@ -48,6 +56,12 @@ void RunMetrics::finalize() {
   frac_jobs_far =
       started == 0 ? 0.0
                    : static_cast<double>(far_jobs) / static_cast<double>(started);
+  frac_jobs_global =
+      started == 0
+          ? 0.0
+          : static_cast<double>(global_jobs) / static_cast<double>(started);
+  remote_access_fraction = ratio(far_bytes_total, footprint_total);
+  global_access_fraction = ratio(global_bytes_total, footprint_total);
   jobs_per_hour = makespan.hours() <= 0.0
                       ? 0.0
                       : static_cast<double>(completed) / makespan.hours();

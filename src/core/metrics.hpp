@@ -73,6 +73,11 @@ struct RunMetrics {
   double rack_pool_peak = 0.0;
   double global_pool_utilization = 0.0;
   double global_pool_peak = 0.0;
+  /// Peak fraction of the single busiest rack pool's capacity in use — the
+  /// rack-imbalance signal (0 when there is no rack tier). A machine whose
+  /// aggregate rack utilization looks comfortable can still have one rack
+  /// pinned at 100%; placement strategies differ exactly here.
+  double rack_pool_busiest_peak = 0.0;
 
   // --- derived aggregates (filled by finalize()) -------------------------
   std::size_t completed = 0;
@@ -85,6 +90,13 @@ struct RunMetrics {
   double p95_bsld = 0.0;
   double mean_dilation = 0.0;  ///< over started jobs
   double frac_jobs_far = 0.0;  ///< fraction of started jobs using any pool
+  /// Fraction of started jobs drawing from the global tier specifically.
+  double frac_jobs_global = 0.0;
+  /// Remote-access fraction: Σ far bytes / Σ footprint bytes over started
+  /// jobs — how much of the workload's memory was served beyond the node.
+  double remote_access_fraction = 0.0;
+  /// The multi-hop share of it: Σ global-tier bytes / Σ footprint bytes.
+  double global_access_fraction = 0.0;
   /// Aggregate far-memory usage integrated over time (GiB·hours).
   double far_gib_hours = 0.0;
   /// Throughput: completed jobs per hour of makespan.

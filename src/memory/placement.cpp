@@ -8,54 +8,6 @@
 
 namespace dmsched {
 
-const char* to_string(NodeSelection s) {
-  switch (s) {
-    case NodeSelection::kFirstFit: return "first-fit";
-    case NodeSelection::kPackRacks: return "pack-racks";
-    case NodeSelection::kSpreadRacks: return "spread-racks";
-    case NodeSelection::kPoolAware: return "pool-aware";
-  }
-  return "?";
-}
-
-const char* to_string(PoolRouting r) {
-  switch (r) {
-    case PoolRouting::kRackOnly: return "rack-only";
-    case PoolRouting::kRackThenGlobal: return "rack-then-global";
-    case PoolRouting::kGlobalOnly: return "global-only";
-  }
-  return "?";
-}
-
-std::int32_t ResourceState::total_free_nodes() const {
-  return std::accumulate(free_nodes.begin(), free_nodes.end(),
-                         std::int32_t{0});
-}
-
-ResourceState snapshot(const Cluster& cluster) {
-  const auto racks = cluster.config().racks();
-  ResourceState s;
-  s.free_nodes.reserve(static_cast<std::size_t>(racks));
-  s.pool_free.reserve(static_cast<std::size_t>(racks));
-  for (RackId r = 0; r < racks; ++r) {
-    s.free_nodes.push_back(cluster.free_nodes_in_rack(r));
-    s.pool_free.push_back(cluster.pool_free(r));
-  }
-  s.global_free = cluster.global_pool_free();
-  return s;
-}
-
-ResourceState empty_state(const ClusterConfig& config) {
-  ResourceState s;
-  const auto racks = config.racks();
-  for (RackId r = 0; r < racks; ++r) {
-    s.free_nodes.push_back(config.rack_size(r));
-    s.pool_free.push_back(config.pool_per_rack);
-  }
-  s.global_free = config.global_pool;
-  return s;
-}
-
 Bytes TakePlan::global_total() const {
   Bytes total{};
   for (const auto& t : takes) total += t.global_pool_bytes;

@@ -5,6 +5,11 @@
 //  - the reservation profile applies it to *future* resource states.
 // Sharing the kernel guarantees that "the profile says J fits at time T"
 // and "the planner can start J at time T" never diverge.
+//
+// The vocabulary it executes — NodeSelection, PoolRouting, PlacementPolicy,
+// the named PlacementStrategy presets — and the counted ResourceState view
+// live one layer down in topology/ (policies are statements about rack
+// distances and tiers; this file is the allocation mechanics).
 #pragma once
 
 #include <optional>
@@ -12,48 +17,11 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "topology/placement_policy.hpp"
+#include "topology/topology.hpp"
 #include "workload/job.hpp"
 
 namespace dmsched {
-
-/// How nodes are chosen across racks.
-enum class NodeSelection {
-  kFirstFit,    ///< racks in index order — the memory-unaware default
-  kPackRacks,   ///< fullest-free racks first: fewest racks per job
-  kSpreadRacks, ///< emptiest racks first: balances occupancy
-  kPoolAware,   ///< deficit jobs chase pool-rich racks; local jobs avoid them
-};
-
-/// Which pools may serve a job's deficit.
-enum class PoolRouting {
-  kRackOnly,       ///< only the racks the job occupies (strict locality)
-  kRackThenGlobal, ///< rack pools first, global pool as overflow (default)
-  kGlobalOnly,     ///< everything from the global pool (topology ablation)
-};
-
-[[nodiscard]] const char* to_string(NodeSelection s);
-[[nodiscard]] const char* to_string(PoolRouting r);
-
-/// The placement configuration a scheduler runs with.
-struct PlacementPolicy {
-  NodeSelection selection = NodeSelection::kPoolAware;
-  PoolRouting routing = PoolRouting::kRackThenGlobal;
-};
-
-/// Counted (rack-granular) view of free resources — either the live
-/// cluster or a hypothetical future state inside a reservation profile.
-struct ResourceState {
-  std::vector<std::int32_t> free_nodes;  ///< per rack
-  std::vector<Bytes> pool_free;          ///< per rack
-  Bytes global_free{};
-
-  [[nodiscard]] std::int32_t total_free_nodes() const;
-};
-
-/// Current cluster state as a ResourceState.
-[[nodiscard]] ResourceState snapshot(const Cluster& cluster);
-/// An idle machine of the given shape.
-[[nodiscard]] ResourceState empty_state(const ClusterConfig& config);
 
 /// Per-rack slice of a planned start.
 struct RackTake {

@@ -15,20 +15,42 @@ double SlowdownModel::sensitivity_multiplier(MemSensitivity s) const {
   DMSCHED_UNREACHABLE("bad sensitivity class");
 }
 
+double SlowdownModel::tier_coefficient(MemoryTier t) const {
+  switch (t) {
+    case MemoryTier::kLocal: return 0.0;
+    case MemoryTier::kRackPool: return beta_rack;
+    case MemoryTier::kGlobalPool: return beta_global;
+  }
+  DMSCHED_UNREACHABLE("bad memory tier");
+}
+
+SlowdownModel SlowdownModel::with_remote_penalty(double k) const {
+  DMSCHED_ASSERT(k > 0.0, "remote penalty must be > 0");
+  if (k == 1.0) return *this;
+  SlowdownModel m = *this;
+  m.beta_rack = beta_rack * k;
+  m.beta_global = beta_global * k;
+  return m;
+}
+
 double SlowdownModel::dilation(double phi_rack, double phi_global,
                                MemSensitivity s) const {
   DMSCHED_ASSERT(phi_rack >= 0.0 && phi_global >= 0.0 &&
                      phi_rack + phi_global <= 1.0 + 1e-9,
                  "dilation: far fractions outside [0,1]");
   const double mult = sensitivity_multiplier(s);
+  // Distance-tier composition: each remote tier contributes its coefficient
+  // times its footprint fraction (raised to γ for the saturating kind).
+  const double c_rack = tier_coefficient(MemoryTier::kRackPool);
+  const double c_global = tier_coefficient(MemoryTier::kGlobalPool);
   double penalty = 0.0;
   switch (kind) {
     case Kind::kLinear:
-      penalty = beta_rack * phi_rack + beta_global * phi_global;
+      penalty = c_rack * phi_rack + c_global * phi_global;
       break;
     case Kind::kSaturating:
-      penalty = beta_rack * std::pow(phi_rack, gamma) +
-                beta_global * std::pow(phi_global, gamma);
+      penalty = c_rack * std::pow(phi_rack, gamma) +
+                c_global * std::pow(phi_global, gamma);
       break;
   }
   return 1.0 + mult * penalty;

@@ -9,11 +9,17 @@
 #pragma once
 
 #include "cluster/allocation.hpp"
+#include "topology/topology.hpp"
 #include "workload/job.hpp"
 
 namespace dmsched {
 
 /// Runtime dilation as a function of the far-memory fraction.
+///
+/// The penalty composes over distance tiers (topology/): each tier carries
+/// a coefficient monotone in its hop count — local 0, rack pool one switch
+/// hop, global pool multi-hop — and a job's dilation sums the per-tier
+/// contributions of its footprint split.
 struct SlowdownModel {
   enum class Kind {
     kLinear,      ///< 1 + β·φ — first-order model, default
@@ -33,6 +39,15 @@ struct SlowdownModel {
 
   /// Class multiplier.
   [[nodiscard]] double sensitivity_multiplier(MemSensitivity s) const;
+
+  /// Distance-tier coefficient: 0 for local, β_rack for the rack tier,
+  /// β_global for the global tier.
+  [[nodiscard]] double tier_coefficient(MemoryTier t) const;
+
+  /// The same model with every remote-tier coefficient scaled by `k` —
+  /// ScenarioParams::remote_penalty resolves through this. `k` must be > 0;
+  /// 1.0 returns the model unchanged (bit-for-bit).
+  [[nodiscard]] SlowdownModel with_remote_penalty(double k) const;
 
   /// Dilation factor (>= 1) for far fractions φ_rack and φ_global of the
   /// job's total footprint. φ's must be in [0,1] and sum to <= 1.

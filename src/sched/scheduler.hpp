@@ -12,6 +12,7 @@
 #include "cluster/cluster.hpp"
 #include "memory/placement.hpp"
 #include "memory/slowdown.hpp"
+#include "topology/topology.hpp"
 #include "workload/job.hpp"
 
 namespace dmsched {
@@ -41,6 +42,8 @@ class SchedContext {
   [[nodiscard]] virtual std::vector<RunningJob> running_jobs() const = 0;
   [[nodiscard]] virtual PlacementPolicy placement() const = 0;
   [[nodiscard]] virtual const SlowdownModel& slowdown() const = 0;
+  /// The machine's rack-scale memory model (tier capacities, headroom).
+  [[nodiscard]] virtual const Topology& topology() const = 0;
 
   /// Commit `alloc` for `job`, schedule its completion, remove it from the
   /// queue. The allocation must have been planned against the current

@@ -1,0 +1,58 @@
+#include "topology/placement_policy.hpp"
+
+namespace dmsched {
+
+const char* to_string(NodeSelection s) {
+  switch (s) {
+    case NodeSelection::kFirstFit: return "first-fit";
+    case NodeSelection::kPackRacks: return "pack-racks";
+    case NodeSelection::kSpreadRacks: return "spread-racks";
+    case NodeSelection::kPoolAware: return "pool-aware";
+  }
+  return "?";
+}
+
+const char* to_string(PoolRouting r) {
+  switch (r) {
+    case PoolRouting::kRackOnly: return "rack-only";
+    case PoolRouting::kRackThenGlobal: return "rack-then-global";
+    case PoolRouting::kGlobalOnly: return "global-only";
+  }
+  return "?";
+}
+
+const char* to_string(PlacementStrategy s) {
+  switch (s) {
+    case PlacementStrategy::kLocalFirst: return "local-first";
+    case PlacementStrategy::kBalanced: return "balanced";
+    case PlacementStrategy::kGlobalFallback: return "global-fallback";
+  }
+  return "?";
+}
+
+std::optional<PlacementStrategy> placement_strategy_from_string(
+    const std::string& s) {
+  for (const PlacementStrategy strategy : all_placement_strategies()) {
+    if (s == to_string(strategy)) return strategy;
+  }
+  return std::nullopt;
+}
+
+std::vector<PlacementStrategy> all_placement_strategies() {
+  return {PlacementStrategy::kLocalFirst, PlacementStrategy::kBalanced,
+          PlacementStrategy::kGlobalFallback};
+}
+
+PlacementPolicy make_placement(PlacementStrategy s) {
+  switch (s) {
+    case PlacementStrategy::kLocalFirst:
+      return {NodeSelection::kPoolAware, PoolRouting::kRackOnly};
+    case PlacementStrategy::kBalanced:
+      return {NodeSelection::kSpreadRacks, PoolRouting::kRackThenGlobal};
+    case PlacementStrategy::kGlobalFallback:
+      return {NodeSelection::kPoolAware, PoolRouting::kRackThenGlobal};
+  }
+  return {};
+}
+
+}  // namespace dmsched

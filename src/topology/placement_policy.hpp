@@ -1,0 +1,67 @@
+// The placement-policy vocabulary: how nodes are chosen across racks, which
+// tiers may fund a deficit, and the named strategies studies sweep.
+//
+// This is topology-layer knowledge — a policy is a statement about rack
+// distances and tier preferences, independent of the allocation mechanics
+// (memory/placement.cpp executes these against a ResourceState).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dmsched {
+
+/// How nodes are chosen across racks.
+enum class NodeSelection {
+  kFirstFit,    ///< racks in index order — the memory-unaware default
+  kPackRacks,   ///< fullest-free racks first: fewest racks per job
+  kSpreadRacks, ///< emptiest racks first: balances occupancy
+  kPoolAware,   ///< deficit jobs chase pool-rich racks; local jobs avoid them
+};
+
+/// Which pools may serve a job's deficit.
+enum class PoolRouting {
+  kRackOnly,       ///< only the racks the job occupies (strict locality)
+  kRackThenGlobal, ///< rack pools first, global pool as overflow (default)
+  kGlobalOnly,     ///< everything from the global pool (topology ablation)
+};
+
+[[nodiscard]] const char* to_string(NodeSelection s);
+[[nodiscard]] const char* to_string(PoolRouting r);
+
+/// The placement configuration a scheduler runs with.
+struct PlacementPolicy {
+  NodeSelection selection = NodeSelection::kPoolAware;
+  PoolRouting routing = PoolRouting::kRackThenGlobal;
+};
+
+/// Named placement strategies — the topology studies' sweep axis. Each is a
+/// (selection, routing) pair with a documented intent; `make_placement`
+/// resolves it to the policy the allocation kernel executes.
+enum class PlacementStrategy {
+  /// Strict rack locality: a deficit is funded only by the pools of the
+  /// racks hosting the job. Jobs wait (or are rejected on machines whose
+  /// rack pools can never cover them) rather than reach the global tier —
+  /// lowest dilation, highest queueing.
+  kLocalFirst,
+  /// Spread nodes across the emptiest racks so pool pressure balances;
+  /// overflow to the global tier when rack pools run dry.
+  kBalanced,
+  /// Pool-aware node choice with the global tier as overflow: start as soon
+  /// as any tier can fund the job — the engine's default, named. Highest
+  /// remote-access fraction under contention, lowest queueing.
+  kGlobalFallback,
+};
+
+[[nodiscard]] const char* to_string(PlacementStrategy s);
+/// Parse "local-first" / "balanced" / "global-fallback"; nullopt otherwise.
+[[nodiscard]] std::optional<PlacementStrategy> placement_strategy_from_string(
+    const std::string& s);
+/// All strategies in documentation order.
+[[nodiscard]] std::vector<PlacementStrategy> all_placement_strategies();
+
+/// The (selection, routing) pair a strategy resolves to.
+[[nodiscard]] PlacementPolicy make_placement(PlacementStrategy s);
+
+}  // namespace dmsched

@@ -1,0 +1,162 @@
+#include "topology/topology.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace dmsched {
+
+const char* to_string(MemoryTier t) {
+  switch (t) {
+    case MemoryTier::kLocal: return "local";
+    case MemoryTier::kRackPool: return "rack-pool";
+    case MemoryTier::kGlobalPool: return "global-pool";
+  }
+  return "?";
+}
+
+std::int32_t ResourceState::total_free_nodes() const {
+  return std::accumulate(free_nodes.begin(), free_nodes.end(),
+                         std::int32_t{0});
+}
+
+ResourceState snapshot(const Cluster& cluster) {
+  const auto racks = cluster.config().racks();
+  ResourceState s;
+  s.free_nodes.reserve(static_cast<std::size_t>(racks));
+  s.pool_free.reserve(static_cast<std::size_t>(racks));
+  for (RackId r = 0; r < racks; ++r) {
+    s.free_nodes.push_back(cluster.free_nodes_in_rack(r));
+    s.pool_free.push_back(cluster.pool_free(r));
+  }
+  s.global_free = cluster.global_pool_free();
+  return s;
+}
+
+ResourceState empty_state(const ClusterConfig& config) {
+  ResourceState s;
+  const auto racks = config.racks();
+  for (RackId r = 0; r < racks; ++r) {
+    s.free_nodes.push_back(config.rack_size(r));
+    s.pool_free.push_back(config.pool_per_rack);
+  }
+  s.global_free = config.global_pool;
+  return s;
+}
+
+Topology::Topology(ClusterConfig config) : config_(std::move(config)) {}
+
+Bytes Topology::tier_capacity(MemoryTier t) const {
+  switch (t) {
+    case MemoryTier::kLocal:
+      return config_.local_mem_per_node * config_.total_nodes;
+    case MemoryTier::kRackPool:
+      return rack_tier_capacity();
+    case MemoryTier::kGlobalPool:
+      return global_tier_capacity();
+  }
+  DMSCHED_UNREACHABLE("bad memory tier");
+}
+
+TierHeadroom Topology::headroom(const ResourceState& state) const {
+  DMSCHED_ASSERT(state.free_nodes.size() == static_cast<std::size_t>(racks()),
+                 "headroom: state shape mismatch");
+  TierHeadroom h;
+  h.free_nodes = state.total_free_nodes();
+  for (const Bytes free : state.pool_free) {
+    h.rack_pool_free += free;
+    h.rack_pool_free_max = max(h.rack_pool_free_max, free);
+  }
+  h.global_free = state.global_free;
+  return h;
+}
+
+ClusterConfig apply(const TopologySpec& spec, ClusterConfig config) {
+  if (spec.racks < 0) {
+    throw std::invalid_argument(
+        "topology: racks must be >= 0 (0 keeps the published racking), got " +
+        std::to_string(spec.racks));
+  }
+  if (spec.racks > 0) {
+    if (spec.racks > config.total_nodes ||
+        config.total_nodes % spec.racks != 0) {
+      throw std::invalid_argument(
+          "topology: racks=" + std::to_string(spec.racks) +
+          " must divide the node count (" +
+          std::to_string(config.total_nodes) +
+          ") exactly; pick a divisor");
+    }
+    // Preserve the rack tier's total bytes across re-racking.
+    const Bytes rack_tier = config.pool_per_rack * config.racks();
+    config.nodes_per_rack = config.total_nodes / spec.racks;
+    config.pool_per_rack = rack_tier / spec.racks;
+    if (!rack_tier.is_zero() && config.pool_per_rack.is_zero()) {
+      throw std::invalid_argument(
+          "topology: re-racking to " + std::to_string(spec.racks) +
+          " racks leaves a zero-capacity rack tier (" +
+          std::to_string(rack_tier.count()) +
+          " bytes split too thin); reduce racks or raise pool capacity");
+    }
+  }
+  if (spec.rack_pool_frac >= 0.0) {
+    if (spec.rack_pool_frac > 1.0) {
+      throw std::invalid_argument(
+          "topology: rack_pool_frac must lie in [0, 1] (negative keeps the "
+          "published split), got " + std::to_string(spec.rack_pool_frac));
+    }
+    const std::int32_t racks = config.racks();
+    const Bytes total = config.pool_per_rack * racks + config.global_pool;
+    if (total.is_zero()) {
+      throw std::invalid_argument(
+          "topology: rack_pool_frac set but the machine has no "
+          "disaggregated capacity to split");
+    }
+    const Bytes per_rack = Bytes{static_cast<std::int64_t>(
+        static_cast<double>(total.count()) * spec.rack_pool_frac /
+        static_cast<double>(racks))};
+    if (spec.rack_pool_frac > 0.0 && per_rack.is_zero()) {
+      throw std::invalid_argument(
+          "topology: rack_pool_frac=" + std::to_string(spec.rack_pool_frac) +
+          " produces a zero-capacity rack tier on this machine (" +
+          std::to_string(total.count()) + " bytes across " +
+          std::to_string(racks) + " racks); raise the fraction or use 0");
+    }
+    config.pool_per_rack = per_rack;
+    // frac == 1.0 means *strictly* rack-scale: the integer-division residue
+    // (< racks bytes) is dropped rather than left as a degenerate global
+    // tier that would flip has_global_tier() on a machine documented as
+    // having none.
+    config.global_pool =
+        spec.rack_pool_frac == 1.0 ? Bytes{0} : total - per_rack * racks;
+  }
+  return config;
+}
+
+ClusterConfig flatten_to_global(ClusterConfig config) {
+  config.global_pool += config.pool_per_rack * config.racks();
+  config.pool_per_rack = Bytes{0};
+  config.nodes_per_rack = config.total_nodes;
+  return config;
+}
+
+void ensure_tiers_survive(const ClusterConfig& shaped,
+                          const ClusterConfig& published, const char* what) {
+  if (!published.pool_per_rack.is_zero() && shaped.pool_per_rack.is_zero()) {
+    throw std::invalid_argument(
+        std::string(what) +
+        ": the published machine has rack pools but this combination "
+        "produces a zero-capacity rack tier; raise pool_scale or "
+        "rack_pool_frac");
+  }
+  if (!published.global_pool.is_zero() && shaped.global_pool.is_zero()) {
+    throw std::invalid_argument(
+        std::string(what) +
+        ": the published machine has a global tier but this combination "
+        "produces a zero-capacity global tier; raise pool_scale");
+  }
+}
+
+}  // namespace dmsched

@@ -38,6 +38,25 @@ ScenarioParams resolve(const ScenarioParams& params,
         std::to_string(params.node_scale) +
         ", pool_scale=" + std::to_string(params.pool_scale) + ")");
   }
+  // Topology knobs: 0/negative sentinels keep the published machine; the
+  // structural validation (divisibility, zero-capacity tiers) happens in
+  // topology/apply once the machine is known.
+  if (r.remote_penalty == 0.0) r.remote_penalty = 1.0;
+  if (r.remote_penalty <= 0.0) {
+    throw std::invalid_argument(
+        "scenario remote_penalty must be > 0 (got " +
+        std::to_string(params.remote_penalty) + ")");
+  }
+  if (r.racks < 0) {
+    throw std::invalid_argument(
+        "scenario racks must be >= 0 (0 keeps the published racking), got " +
+        std::to_string(params.racks));
+  }
+  if (r.rack_pool_frac > 1.0) {
+    throw std::invalid_argument(
+        "scenario rack_pool_frac must lie in [0, 1] (negative keeps the "
+        "published split), got " + std::to_string(params.rack_pool_frac));
+  }
   return r;
 }
 
@@ -47,6 +66,7 @@ ScenarioParams resolve(const ScenarioParams& params,
 /// makes the knobs usable for capacity planning rather than just starving
 /// or flooding the published workload.
 ClusterConfig scale_cluster(ClusterConfig c, const ScenarioParams& p) {
+  const ClusterConfig published = c;
   if (p.node_scale != 1.0) {
     // Snap to whole racks so rack-level pool accounting keeps its shape.
     const double scaled_racks =
@@ -62,7 +82,14 @@ ClusterConfig scale_cluster(ClusterConfig c, const ScenarioParams& p) {
         static_cast<double>(c.pool_per_rack.count()) * p.pool_scale))};
     c.global_pool = Bytes{static_cast<std::int64_t>(std::llround(
         static_cast<double>(c.global_pool.count()) * p.pool_scale))};
+    // A pool_scale small enough to round a published tier to zero silently
+    // turns a tiered study into a flat one — make it loud instead.
+    ensure_tiers_survive(c, published, "scenario pool_scale");
   }
+  // The topology knobs reshape the (scaled) machine last, so pool_scale and
+  // rack_pool_frac compose: scale the total, then split it.
+  const TopologySpec spec{p.racks, p.rack_pool_frac};
+  if (!spec.is_default()) c = apply(spec, std::move(c));
   return c;
 }
 
@@ -148,6 +175,29 @@ Scenario build_wide_jobs(const ScenarioParams& p) {
   ClusterConfig c = make_cluster("wide-jobs", 128, 16, 192, 512, 1024);
   return model_scenario(std::move(c), WorkloadModel::kCapability,
                         gib(std::int64_t{256}), p);
+}
+
+/// Rack-scale provisioning with no global safety net: every far byte is one
+/// switch hop away, and a rack's pool exhaustion cannot be papered over by
+/// a distant tier. The placement axis that matters here is node selection
+/// (spreading vs packing vs pool-chasing); pool routing is moot. Backs the
+/// rack-scale-vs-system-wide provisioning comparison.
+Scenario build_rack_local(const ScenarioParams& p) {
+  ClusterConfig c = make_cluster("rack-local", 48, 8, 64, 128, 0);
+  return model_scenario(std::move(c), WorkloadModel::kCapacity,
+                        gib(std::int64_t{128}), p);
+}
+
+/// Both distance tiers present and under pressure: scarce local memory, a
+/// modest rack tier, and a global tier big enough to start jobs early but
+/// expensive enough to regret it. This is the scenario where the named
+/// placement strategies genuinely diverge — local-first queues (and sheds
+/// the jobs no rack pool can ever fund) while global-fallback starts and
+/// dilates — pinned by tests/golden/topology_placement_test.cpp.
+Scenario build_tiered_contended(const ScenarioParams& p) {
+  ClusterConfig c = make_cluster("tiered-contended", 64, 8, 48, 96, 192);
+  return model_scenario(std::move(c), WorkloadModel::kCapacity,
+                        gib(std::int64_t{96}), p);
 }
 
 /// The bundled SWF fixture (tests/data/sample.swf), embedded so the scenario
@@ -297,6 +347,22 @@ const std::vector<ScenarioEntry>& registry() {
         "secondary"},
        {400, 17, 0.9},
        &build_wide_jobs},
+      {{"rack-local",
+        "rack pools only, no global tier: every far byte is one hop away "
+        "and rack exhaustion has no safety net (node-selection study)",
+        "fig. 4 (rack-scale provisioning column)",
+        "pool-aware/balanced selection ahead of first-fit; routing is moot "
+        "without a global tier"},
+       {500, 23, 1.0},
+       &build_rack_local},
+      {{"tiered-contended",
+        "scarce local memory with a contended rack tier AND a global tier: "
+        "the regime where placement strategies diverge",
+        "fig. 6 (topology variant; tests/golden/topology_placement_test)",
+        "local-first trades queueing for locality (lower remote-access "
+        "fraction, larger makespan); global-fallback the reverse"},
+       {500, 29, 1.05},
+       &build_tiered_contended},
       {{"mixed-swf",
         "the bundled 30-job SWF fixture replicated onto a 12-node machine "
         "with 12 GiB local memory (footprints reach 16 GiB)",
@@ -353,8 +419,10 @@ const ScenarioInfo& scenario_info(const std::string& name) {
 
 Scenario make_scenario(const std::string& name, const ScenarioParams& params) {
   const ScenarioEntry& entry = find_entry(name);
-  Scenario s = entry.build(resolve(params, entry.defaults));
+  const ScenarioParams resolved = resolve(params, entry.defaults);
+  Scenario s = entry.build(resolved);
   s.info = entry.info;
+  s.remote_penalty = resolved.remote_penalty;
   return s;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cluster/config.hpp"
+#include "topology/topology.hpp"
 #include "workload/trace.hpp"
 
 namespace dmsched {
@@ -41,8 +42,25 @@ struct ScenarioParams {
   double node_scale = 0.0;
   /// Machine-scale multiplier on disaggregated capacity (rack pools and the
   /// global tier together). 0 means 1.0; must be > 0 otherwise. A scenario
-  /// with no pools stays poolless at any scale.
+  /// with no pools stays poolless at any scale. Scaling a published tier to
+  /// zero capacity throws (see topology/ `ensure_tiers_survive`).
   double pool_scale = 0.0;
+
+  // --- topology knobs (see topology/topology.hpp) -------------------------
+  /// Re-rack the machine into exactly this many racks, preserving the rack
+  /// tier's total bytes. 0 = the published racking; must divide the (scaled)
+  /// node count exactly otherwise.
+  std::int32_t racks = 0;
+  /// Re-split the machine's total disaggregated capacity: this fraction
+  /// becomes rack-local pools, the rest the global tier. Negative (default)
+  /// keeps the published split; otherwise must lie in [0, 1], and a split
+  /// that rounds a requested tier to zero capacity throws.
+  double rack_pool_frac = -1.0;
+  /// Multiplier on the remote-tier slowdown coefficients (rack and global
+  /// β together): distance penalties k× the published model. 0 means 1.0;
+  /// must be > 0 otherwise. Resolved into Scenario::remote_penalty and
+  /// applied to EngineOptions::slowdown by scenario_experiment().
+  double remote_penalty = 0.0;
 };
 
 /// Registry metadata: what a scenario is for, before paying to build it.
@@ -70,6 +88,10 @@ struct Scenario {
   /// against (may exceed the machine's actual local memory — that gap is
   /// the memory pressure).
   Bytes workload_reference_mem{};
+  /// Resolved remote-penalty multiplier for the slowdown model (1.0 = the
+  /// published model; scenarios.* cannot name SlowdownModel itself — it
+  /// lives a layer up — so core/scenario_experiment applies this).
+  double remote_penalty = 1.0;
   Trace trace;
 };
 

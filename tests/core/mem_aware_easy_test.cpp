@@ -346,6 +346,85 @@ TEST(MemAwareEasy, EmptyQueueNoOp) {
 }
 
 
+TEST(MemAwareEasy, ReserveHeadroomShieldsTheRackTierFromBackfills) {
+  // One rack of 4 with a 32 GiB pool; job 0 holds 3 nodes for 4 h, the head
+  // needs all 4 (blocked), and the candidate is a short deficit job whose
+  // 24 GiB draw would leave only 8 GiB of the rack tier free. Without the
+  // shield it backfills (ends before the head's reservation); with
+  // reserve_headroom = 0.5 (16 GiB floor, read via Topology::headroom) the
+  // scheduler skips it.
+  const auto jobs = [] {
+    return std::vector<Job>{
+        job(0).nodes(3).walltime_h(4.0).runtime_h(4.0),
+        job(1).nodes(4).walltime_h(1.0).runtime_h(1.0),
+        job(2).nodes(1).mem_gib(40.0).walltime_h(1.0).runtime_h(1.0)};
+  };
+  {
+    FakeContext ctx(testing::machine(4, 16.0, 32.0), jobs());
+    ctx.force_run(0);
+    ctx.enqueue(1);
+    ctx.enqueue(2);
+    MemAwareEasyScheduler sched;
+    sched.schedule(ctx);
+    EXPECT_EQ(ctx.started(), (std::vector<JobId>{2}));
+  }
+  {
+    FakeContext ctx(testing::machine(4, 16.0, 32.0), jobs());
+    ctx.force_run(0);
+    ctx.enqueue(1);
+    ctx.enqueue(2);
+    MemAwareEasyScheduler sched({.reserve_headroom = 0.5});
+    sched.schedule(ctx);
+    EXPECT_TRUE(ctx.started().empty())
+        << "backfill drained the rack tier below the reserve";
+  }
+  {
+    // A candidate within the reserve (8 GiB draw leaves 24 GiB free) still
+    // backfills — the shield bounds tier depletion, it does not ban pools.
+    FakeContext ctx(testing::machine(4, 16.0, 32.0),
+                    {job(0).nodes(3).walltime_h(4.0).runtime_h(4.0),
+                     job(1).nodes(4).walltime_h(1.0).runtime_h(1.0),
+                     job(2).nodes(1).mem_gib(24.0).walltime_h(1.0)
+                         .runtime_h(1.0)});
+    ctx.force_run(0);
+    ctx.enqueue(1);
+    ctx.enqueue(2);
+    MemAwareEasyScheduler sched({.reserve_headroom = 0.5});
+    sched.schedule(ctx);
+    EXPECT_EQ(ctx.started(), (std::vector<JobId>{2}));
+  }
+}
+
+TEST(MemAwareEasy, ReserveHeadroomShieldsTheGlobalTierSeparately) {
+  // No rack tier, a 64 GiB global pool: a 24 GiB draw leaves 40 GiB free —
+  // fine at reserve 0.5 (floor 32 GiB), refused at reserve 0.8 (51.2 GiB).
+  const auto jobs = [] {
+    return std::vector<Job>{
+        job(0).nodes(3).walltime_h(4.0).runtime_h(4.0),
+        job(1).nodes(4).walltime_h(1.0).runtime_h(1.0),
+        job(2).nodes(1).mem_gib(40.0).walltime_h(1.0).runtime_h(1.0)};
+  };
+  {
+    FakeContext ctx(testing::machine(4, 16.0, 0.0, 64.0), jobs());
+    ctx.force_run(0);
+    ctx.enqueue(1);
+    ctx.enqueue(2);
+    MemAwareEasyScheduler sched({.reserve_headroom = 0.5});
+    sched.schedule(ctx);
+    EXPECT_EQ(ctx.started(), (std::vector<JobId>{2}));
+  }
+  {
+    FakeContext ctx(testing::machine(4, 16.0, 0.0, 64.0), jobs());
+    ctx.force_run(0);
+    ctx.enqueue(1);
+    ctx.enqueue(2);
+    MemAwareEasyScheduler sched({.reserve_headroom = 0.8});
+    sched.schedule(ctx);
+    EXPECT_TRUE(ctx.started().empty())
+        << "backfill drained the global tier below the reserve";
+  }
+}
+
 TEST(MemAwareEasy, SessionLifecycleReleasesEverything) {
   MemAwareEasyScheduler sched;
   testing::run_lifecycle_scenario(sched);

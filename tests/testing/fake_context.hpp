@@ -17,7 +17,8 @@ class FakeContext final : public SchedContext {
   FakeContext(ClusterConfig config, std::vector<Job> jobs)
       : config_(std::move(config)),
         jobs_(std::move(jobs)),
-        cluster_(config_) {}
+        cluster_(config_),
+        topology_(config_) {}
 
   // --- test setup -----------------------------------------------------------
   void set_now(SimTime t) { now_ = t; }
@@ -75,6 +76,9 @@ class FakeContext final : public SchedContext {
   [[nodiscard]] const SlowdownModel& slowdown() const override {
     return slowdown_;
   }
+  [[nodiscard]] const Topology& topology() const override {
+    return topology_;
+  }
   void start_job(JobId id, const Allocation& alloc) override {
     const auto it = std::find(queue_.begin(), queue_.end(), id);
     DMSCHED_ASSERT(it != queue_.end(), "start_job: not queued");
@@ -98,6 +102,7 @@ class FakeContext final : public SchedContext {
   ClusterConfig config_;
   std::vector<Job> jobs_;
   Cluster cluster_;
+  Topology topology_;
   SimTime now_{};
   PlacementPolicy placement_{NodeSelection::kFirstFit,
                              PoolRouting::kRackThenGlobal};

@@ -30,9 +30,9 @@ void expect_same_trace(const Trace& a, const Trace& b) {
 TEST(ScenarioRegistry, ListsTheStandardLibrary) {
   const auto names = scenario_names();
   const std::vector<std::string> expected = {
-      "golden-baseline", "memory-stressed", "pool-contended",
-      "bursty-arrivals", "wide-jobs",       "mixed-swf",
-      "large-replay"};
+      "golden-baseline", "memory-stressed",   "pool-contended",
+      "bursty-arrivals", "wide-jobs",         "rack-local",
+      "tiered-contended", "mixed-swf",        "large-replay"};
   EXPECT_EQ(names, expected);
   for (const std::string& name : names) {
     EXPECT_TRUE(scenario_exists(name)) << name;
@@ -199,6 +199,127 @@ TEST(ScenarioParamsTest, NegativeScaleFactorsThrow) {
   EXPECT_THROW(
       (void)make_scenario("memory-stressed", {.pool_scale = -0.5}),
       std::invalid_argument);
+}
+
+TEST(TopologyKnobs, RacksReRacksPreservingRackTierBytes) {
+  const Scenario base = make_scenario("tiered-contended");  // 8 racks × 8
+  const Scenario wide = make_scenario("tiered-contended", {.racks = 4});
+  EXPECT_EQ(wide.cluster.racks(), 4);
+  EXPECT_EQ(wide.cluster.total_nodes, base.cluster.total_nodes);
+  // Total rack-tier bytes and the global tier are preserved.
+  EXPECT_EQ(wide.cluster.pool_per_rack * wide.cluster.racks(),
+            base.cluster.pool_per_rack * base.cluster.racks());
+  EXPECT_EQ(wide.cluster.global_pool, base.cluster.global_pool);
+  // The workload re-derives against the same node count — identical trace.
+  expect_same_trace(base.trace, wide.trace);
+}
+
+TEST(TopologyKnobs, RacksMustDivideTheNodeCount) {
+  // 64 nodes cannot form 7 equal racks.
+  EXPECT_THROW((void)make_scenario("tiered-contended", {.racks = 7}),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_scenario("tiered-contended", {.racks = -2}),
+               std::invalid_argument);
+}
+
+TEST(TopologyKnobs, RackPoolFracResplitsTotalDisaggregatedCapacity) {
+  const Scenario base = make_scenario("tiered-contended");
+  const Bytes total = base.cluster.pool_per_rack * base.cluster.racks() +
+                      base.cluster.global_pool;
+  // All capacity to the global tier.
+  const Scenario flat =
+      make_scenario("tiered-contended", {.rack_pool_frac = 0.0});
+  EXPECT_TRUE(flat.cluster.pool_per_rack.is_zero());
+  EXPECT_EQ(flat.cluster.global_pool, total);
+  // All capacity to the rack tier.
+  const Scenario local =
+      make_scenario("tiered-contended", {.rack_pool_frac = 1.0});
+  EXPECT_TRUE(local.cluster.global_pool.is_zero());
+  EXPECT_EQ(local.cluster.pool_per_rack * local.cluster.racks(), total);
+  // A half split conserves total capacity.
+  const Scenario half =
+      make_scenario("tiered-contended", {.rack_pool_frac = 0.5});
+  EXPECT_EQ(half.cluster.pool_per_rack * half.cluster.racks() +
+                half.cluster.global_pool,
+            total);
+  // The negative sentinel keeps the published split byte-identical.
+  const Scenario kept =
+      make_scenario("tiered-contended", {.rack_pool_frac = -1.0});
+  EXPECT_EQ(kept.cluster.pool_per_rack, base.cluster.pool_per_rack);
+  EXPECT_EQ(kept.cluster.global_pool, base.cluster.global_pool);
+}
+
+TEST(TopologyKnobs, InvalidRackPoolFracThrows) {
+  EXPECT_THROW(
+      (void)make_scenario("tiered-contended", {.rack_pool_frac = 1.5}),
+      std::invalid_argument);
+}
+
+TEST(TopologyKnobs, ZeroCapacityTierCombinationsThrow) {
+  // A pool_scale that rounds a published tier to zero bytes must be loud:
+  // the machine-scale validation satellite. (1e-12 of 96 GiB is 0 bytes.)
+  EXPECT_THROW(
+      (void)make_scenario("tiered-contended", {.pool_scale = 1e-12}),
+      std::invalid_argument);
+  // rack_pool_frac small enough to round per-rack pools to zero while still
+  // requesting a rack tier.
+  EXPECT_THROW(
+      (void)make_scenario("tiered-contended", {.rack_pool_frac = 1e-13}),
+      std::invalid_argument);
+  // (A machine with no disaggregated capacity at all rejects any split —
+  // covered against topology/apply directly in tests/topology/.)
+}
+
+TEST(TopologyKnobs, RemotePenaltyResolvesIntoTheScenario) {
+  const Scenario base = make_scenario("tiered-contended");
+  EXPECT_EQ(base.remote_penalty, 1.0);
+  const Scenario harsh =
+      make_scenario("tiered-contended", {.remote_penalty = 2.5});
+  EXPECT_EQ(harsh.remote_penalty, 2.5);
+  // The machine and workload are untouched — the penalty acts on the
+  // slowdown model, not the trace.
+  expect_same_trace(base.trace, harsh.trace);
+  EXPECT_THROW(
+      (void)make_scenario("tiered-contended", {.remote_penalty = -1.0}),
+      std::invalid_argument);
+}
+
+TEST(TopologyKnobs, KnobsAreDeterministic) {
+  const ScenarioParams params{
+      .racks = 4, .rack_pool_frac = 0.25, .remote_penalty = 1.5};
+  const Scenario a = make_scenario("tiered-contended", params);
+  const Scenario b = make_scenario("tiered-contended", params);
+  EXPECT_EQ(a.cluster.nodes_per_rack, b.cluster.nodes_per_rack);
+  EXPECT_EQ(a.cluster.pool_per_rack, b.cluster.pool_per_rack);
+  EXPECT_EQ(a.cluster.global_pool, b.cluster.global_pool);
+  EXPECT_EQ(a.remote_penalty, b.remote_penalty);
+  expect_same_trace(a.trace, b.trace);
+}
+
+TEST(TieredContendedScenario, BothTiersPresentAndStressed) {
+  const Scenario s = make_scenario("tiered-contended");
+  EXPECT_FALSE(s.cluster.pool_per_rack.is_zero());
+  EXPECT_FALSE(s.cluster.global_pool.is_zero());
+  // Local memory scarce relative to the reference: a large population
+  // overflows into the tiers (the regime where placement strategies
+  // diverge).
+  EXPECT_GT(s.workload_reference_mem, s.cluster.local_mem_per_node);
+  std::size_t above_local = 0;
+  for (const Job& j : s.trace.jobs()) {
+    if (j.mem_per_node > s.cluster.local_mem_per_node) ++above_local;
+  }
+  EXPECT_GT(above_local, s.trace.size() / 4);
+}
+
+TEST(RackLocalScenario, HasNoGlobalTier) {
+  const Scenario s = make_scenario("rack-local");
+  EXPECT_FALSE(s.cluster.pool_per_rack.is_zero());
+  EXPECT_TRUE(s.cluster.global_pool.is_zero());
+  std::size_t above_local = 0;
+  for (const Job& j : s.trace.jobs()) {
+    if (j.mem_per_node > s.cluster.local_mem_per_node) ++above_local;
+  }
+  EXPECT_GT(above_local, 0u) << "rack pools are never exercised";
 }
 
 TEST(MixedSwfScenario, StressesLocalMemory) {

@@ -107,6 +107,16 @@ int main(int argc, char** argv) {
   cli.add_double("pool-scale", 0.0,
                  "with --scenario: multiplier on rack + global pool "
                  "capacity (0 = published machine)");
+  cli.add_int("racks", 0,
+              "with --scenario: re-rack the machine into exactly this many "
+              "racks, preserving rack-tier bytes (0 = published racking)");
+  cli.add_double("rack-pool-frac", -1.0,
+                 "with --scenario: fraction of total disaggregated capacity "
+                 "provisioned as rack pools, rest global (negative = "
+                 "published split)");
+  cli.add_double("remote-penalty", 0.0,
+                 "with --scenario: multiplier on the remote-tier slowdown "
+                 "coefficients (0 = published model)");
   cli.add_flag("list-scenarios", "list the scenario library and exit");
   cli.add_string("swf", "", "SWF trace file (overrides --workload)");
   cli.add_int("procs-per-node", 1, "SWF processors per node");
@@ -120,6 +130,10 @@ int main(int argc, char** argv) {
   cli.add_string("scheduler", "mem-easy",
                  "fcfs|easy|conservative|mem-easy|adaptive");
   cli.add_string("queue-order", "fcfs", "fcfs|sjf|largest|wfp");
+  cli.add_string("placement", "",
+                 "named placement strategy: local-first|balanced|"
+                 "global-fallback (preset for --selection/--routing, which "
+                 "override it individually)");
   cli.add_string("selection", "pool-aware",
                  "first-fit|pack-racks|spread-racks|pool-aware");
   cli.add_string("routing", "rack-then-global",
@@ -128,6 +142,10 @@ int main(int argc, char** argv) {
                  "queue-order|shortest-first|best-mem-fit");
   cli.add_int("reservation-depth", 1, "EASY-K protected reservations");
   cli.add_double("adaptive-margin-sec", 0.0, "defer-vs-dilate hysteresis");
+  cli.add_double("reserve-headroom", 0.0,
+                 "mem-easy/adaptive: fraction of each pool tier shielded "
+                 "from backfills (kept for the reserved queue front; 0 = "
+                 "off)");
   // slowdown model
   cli.add_string("slowdown", "linear", "linear|saturating");
   cli.add_double("beta-rack", 0.30, "rack-pool penalty coefficient");
@@ -145,7 +163,12 @@ int main(int argc, char** argv) {
   if (cli.get_flag("list-scenarios")) {
     for (const std::string& name : scenario_names()) {
       const ScenarioInfo& info = scenario_info(name);
-      std::printf("%-18s %s\n", name.c_str(), info.summary.c_str());
+      // Infrastructure scenarios carry scale-sized defaults (large-replay:
+      // 100k jobs); the listing says so instead of letting a casual
+      // "run every scenario" loop discover it the slow way.
+      std::printf("%-18s %s%s\n", name.c_str(),
+                  info.infrastructure ? "[infrastructure] " : "",
+                  info.summary.c_str());
       std::printf("%-18s backs %s; expected: %s\n", "", info.paper_figure.c_str(),
                   info.expected_ordering.c_str());
     }
@@ -185,16 +208,22 @@ int main(int argc, char** argv) {
     if (cli.provided("load")) params.load = cli.get_double("load");
     params.node_scale = cli.get_double("node-scale");
     params.pool_scale = cli.get_double("pool-scale");
+    params.racks = static_cast<std::int32_t>(cli.get_int("racks"));
+    params.rack_pool_frac = cli.get_double("rack-pool-frac");
+    params.remote_penalty = cli.get_double("remote-penalty");
     try {
       scenario = make_scenario(name, params);
     } catch (const std::invalid_argument& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
     }
-  } else if (cli.provided("node-scale") || cli.provided("pool-scale")) {
+  } else if (cli.provided("node-scale") || cli.provided("pool-scale") ||
+             cli.provided("racks") || cli.provided("rack-pool-frac") ||
+             cli.provided("remote-penalty")) {
     std::fprintf(stderr,
-                 "error: --node-scale/--pool-scale only apply to --scenario "
-                 "machines (size custom machines with --nodes/--pool-gib)\n");
+                 "error: --node-scale/--pool-scale/--racks/--rack-pool-frac/"
+                 "--remote-penalty only apply to --scenario machines (size "
+                 "custom machines with --nodes/--pool-gib)\n");
     return 1;
   }
 
@@ -216,6 +245,12 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("reservation-depth"));
   config.mem_options.adaptive_margin_sec =
       cli.get_double("adaptive-margin-sec");
+  config.mem_options.reserve_headroom = cli.get_double("reserve-headroom");
+  if (config.mem_options.reserve_headroom < 0.0 ||
+      config.mem_options.reserve_headroom >= 1.0) {
+    std::fprintf(stderr, "error: --reserve-headroom must lie in [0, 1)\n");
+    return 1;
+  }
   config.engine.queue_order = [&] {
     const std::string s = cli.get_string("queue-order");
     if (s == "sjf") return QueueOrder::kShortestFirst;
@@ -223,25 +258,46 @@ int main(int argc, char** argv) {
     if (s == "wfp") return QueueOrder::kWfp;
     return QueueOrder::kFcfs;
   }();
-  config.engine.placement.selection = [&] {
-    const std::string s = cli.get_string("selection");
-    if (s == "first-fit") return NodeSelection::kFirstFit;
-    if (s == "pack-racks") return NodeSelection::kPackRacks;
-    if (s == "spread-racks") return NodeSelection::kSpreadRacks;
-    return NodeSelection::kPoolAware;
-  }();
-  config.engine.placement.routing = [&] {
-    const std::string s = cli.get_string("routing");
-    if (s == "rack-only") return PoolRouting::kRackOnly;
-    if (s == "global-only") return PoolRouting::kGlobalOnly;
-    return PoolRouting::kRackThenGlobal;
-  }();
+  // A named strategy presets (selection, routing); the individual flags
+  // refine it when explicitly provided.
+  if (const std::string name = cli.get_string("placement"); !name.empty()) {
+    const auto strategy = placement_strategy_from_string(name);
+    if (!strategy) {
+      std::fprintf(stderr,
+                   "error: unknown placement strategy \"%s\" (known: "
+                   "local-first, balanced, global-fallback)\n",
+                   name.c_str());
+      return 1;
+    }
+    config.engine.placement = make_placement(*strategy);
+  }
+  if (!cli.provided("placement") || cli.provided("selection")) {
+    config.engine.placement.selection = [&] {
+      const std::string s = cli.get_string("selection");
+      if (s == "first-fit") return NodeSelection::kFirstFit;
+      if (s == "pack-racks") return NodeSelection::kPackRacks;
+      if (s == "spread-racks") return NodeSelection::kSpreadRacks;
+      return NodeSelection::kPoolAware;
+    }();
+  }
+  if (!cli.provided("placement") || cli.provided("routing")) {
+    config.engine.placement.routing = [&] {
+      const std::string s = cli.get_string("routing");
+      if (s == "rack-only") return PoolRouting::kRackOnly;
+      if (s == "global-only") return PoolRouting::kGlobalOnly;
+      return PoolRouting::kRackThenGlobal;
+    }();
+  }
   config.engine.slowdown.kind = cli.get_string("slowdown") == "saturating"
                                     ? SlowdownModel::Kind::kSaturating
                                     : SlowdownModel::Kind::kLinear;
   config.engine.slowdown.beta_rack = cli.get_double("beta-rack");
   config.engine.slowdown.beta_global = cli.get_double("beta-global");
   config.engine.slowdown.gamma = cli.get_double("gamma");
+  if (scenario) {
+    config.engine.slowdown =
+        config.engine.slowdown.with_remote_penalty(scenario->remote_penalty);
+  }
   config.engine.kill_on_walltime = cli.get_flag("kill-on-walltime");
   if (cli.get_int("sample-interval-min") > 0) {
     config.engine.sample_interval = minutes(cli.get_int("sample-interval-min"));
@@ -308,6 +364,11 @@ int main(int argc, char** argv) {
               100.0 * m.rack_pool_peak, 100.0 * m.global_pool_utilization);
   std::printf("far mem   %.1f%% of jobs, mean dilation %.3f, %.0f GiB·h\n",
               100.0 * m.frac_jobs_far, m.mean_dilation, m.far_gib_hours);
+  std::printf("topology  remote access %.1f%% of bytes (global %.1f%%), "
+              "busiest rack pool peak %.1f%%\n",
+              100.0 * m.remote_access_fraction,
+              100.0 * m.global_access_fraction,
+              100.0 * m.rack_pool_busiest_peak);
   std::printf("thruput   %.1f jobs/h\n", m.jobs_per_hour);
 
   if (cli.get_flag("fairness")) {
