@@ -1,6 +1,5 @@
 #include "core/engine.hpp"
 
-#include <map>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -69,6 +68,7 @@ SchedulingSimulation::SchedulingSimulation(ClusterConfig config,
       options_(options),
       cluster_(config_),
       topology_(config_),
+      timeline_(config_),
       rt_(trace.size()) {
   DMSCHED_ASSERT(scheduler_ != nullptr, "simulation needs a scheduler");
   metrics_.label = std::string(scheduler_->name()) + "/" + config_.name;
@@ -109,39 +109,35 @@ const SlowdownModel& SchedulingSimulation::slowdown() const {
 
 const Topology& SchedulingSimulation::topology() const { return topology_; }
 
+const AvailabilityTimeline* SchedulingSimulation::timeline() const {
+  return &timeline_;
+}
+
+bool SchedulingSimulation::queue_order_stable() const {
+  // FCFS orders by (submit, id), which is exactly append order; every other
+  // policy re-ranks the queue per pass, so suffixes are not incremental.
+  return options_.queue_order == QueueOrder::kFcfs;
+}
+
+std::uint64_t SchedulingSimulation::queue_tail_epoch() const {
+  return queue_appends_.size();
+}
+
+std::vector<JobId> SchedulingSimulation::queued_jobs_after(
+    std::uint64_t epoch) const {
+  DMSCHED_ASSERT(epoch <= queue_appends_.size(),
+                 "queued_jobs_after: epoch from the future");
+  std::vector<JobId> out;
+  for (std::size_t i = epoch; i < queue_appends_.size(); ++i) {
+    const JobId id = queue_appends_[i];
+    if (rt_[id].state == JobState::kQueued) out.push_back(id);
+  }
+  return out;
+}
+
 TakePlan SchedulingSimulation::take_from_allocation(const Allocation& alloc,
                                                     const ClusterConfig& cfg) {
-  TakePlan take;
-  take.local_per_node = alloc.local_per_node;
-  take.far_per_node = alloc.far_per_node;
-  // Group nodes by rack, then attach this allocation's pool draws.
-  std::map<RackId, RackTake> per_rack;
-  for (NodeId n : alloc.nodes) {
-    const RackId r = cfg.rack_of(n);
-    auto& t = per_rack[r];
-    t.rack = r;
-    ++t.nodes;
-  }
-  Bytes global_bytes{};
-  for (const auto& d : alloc.draws) {
-    if (d.rack == kGlobalPoolRack) {
-      global_bytes += d.bytes;
-    } else {
-      auto it = per_rack.find(d.rack);
-      DMSCHED_ASSERT(it != per_rack.end(),
-                     "allocation draws from a rack hosting none of its nodes");
-      it->second.rack_pool_bytes += d.bytes;
-    }
-  }
-  // The global draw is accounted on the first rack slice: profiles only use
-  // the global *total*, which is preserved.
-  take.takes.reserve(per_rack.size());
-  for (auto& [r, t] : per_rack) take.takes.push_back(t);
-  if (global_bytes > Bytes{0}) {
-    DMSCHED_ASSERT(!take.takes.empty(), "allocation with draws but no nodes");
-    take.takes.front().global_pool_bytes = global_bytes;
-  }
-  return take;
+  return take_from(alloc, cfg);
 }
 
 void SchedulingSimulation::record_usage_change() {
@@ -194,6 +190,7 @@ void SchedulingSimulation::handle_submit(JobId id) {
   }
   r.state = JobState::kQueued;
   queue_.push_back(rt_, id);
+  queue_appends_.push_back(id);
   request_schedule_pass();
 }
 
@@ -226,6 +223,7 @@ void SchedulingSimulation::start_job(JobId id, const Allocation& alloc) {
   }
   r.end = engine_.now() + actual;
   r.expected_end = engine_.now() + j.walltime.scaled(r.dilation);
+  timeline_.on_start(id, r.expected_end, r.take);
   engine_.schedule_at(r.end, sim::EventClass::kCompletion,
                       [this, id](SimTime) { handle_complete(id); });
   record_usage_change();
@@ -235,6 +233,7 @@ void SchedulingSimulation::handle_complete(JobId id) {
   JobRuntime& r = rt_[id];
   DMSCHED_ASSERT(r.state == JobState::kRunning, "completion of a non-running job");
   cluster_.release(id);
+  timeline_.on_finish(id, r.expected_end);
   if (options_.audit_cluster) cluster_.audit();
   running_.erase(rt_, id);
   r.state = JobState::kDone;

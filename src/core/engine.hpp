@@ -11,6 +11,7 @@
 #include "memory/placement.hpp"
 #include "memory/slowdown.hpp"
 #include "topology/topology.hpp"
+#include "sched/profile.hpp"
 #include "sched/queue_policy.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
@@ -62,6 +63,11 @@ class SchedulingSimulation final : public SchedContext {
   [[nodiscard]] PlacementPolicy placement() const override;
   [[nodiscard]] const SlowdownModel& slowdown() const override;
   [[nodiscard]] const Topology& topology() const override;
+  [[nodiscard]] const AvailabilityTimeline* timeline() const override;
+  [[nodiscard]] bool queue_order_stable() const override;
+  [[nodiscard]] std::uint64_t queue_tail_epoch() const override;
+  [[nodiscard]] std::vector<JobId> queued_jobs_after(
+      std::uint64_t epoch) const override;
   void start_job(JobId id, const Allocation& alloc) override;
 
   /// Counted resource view of an allocation (exposed for tests).
@@ -132,6 +138,12 @@ class SchedulingSimulation final : public SchedContext {
   sim::Engine engine_;
   Cluster cluster_;
   Topology topology_;  ///< the machine's rack-scale memory model
+  /// Persistent availability view, updated push-style on start/finish —
+  /// the structure incremental scheduler passes key their caches on.
+  AvailabilityTimeline timeline_;
+  /// Lifetime log of queue appends (never shrinks); its size is the queue
+  /// tail epoch, and suffixes of it answer queued_jobs_after.
+  std::vector<JobId> queue_appends_;
   std::vector<JobRuntime> rt_;
   JobList queue_{.id = JobListId::kQueue};      // waiting, insertion order
   JobList running_{.id = JobListId::kRunning};  // running, insertion order

@@ -17,7 +17,9 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
+#include "sched/profile.hpp"
 #include "sched/scheduler.hpp"
 
 namespace dmsched {
@@ -57,8 +59,25 @@ struct MemAwareOptions {
 };
 
 /// Memory-aware EASY backfilling (see file header).
+///
+/// Incremental passes: the reservation profile and the protected baseline
+/// persist across passes. When the context's availability timeline reports
+/// no resource movement since a converged pass (clean profile sync), phase 1
+/// (head starts) and phase 2 (baseline reservations) are skipped — both are
+/// provably byte-identical to a recompute — and only the backfill-candidate
+/// loop runs. The cache arms itself only in the plainest configuration
+/// (queue-order candidates, non-adaptive, full reservation window, every
+/// reservation strictly in the future): those are the conditions under which
+/// the skip is a proof, not a heuristic.
 class MemAwareEasyScheduler final : public Scheduler {
  public:
+  /// One protected reservation of the queue front.
+  struct Reservation {
+    JobId id = kInvalidJobId;
+    SimTime start{};
+    SimTime finish_bound{};
+  };
+
   explicit MemAwareEasyScheduler(MemAwareOptions options = {});
 
   [[nodiscard]] const char* name() const override {
@@ -69,6 +88,14 @@ class MemAwareEasyScheduler final : public Scheduler {
 
  private:
   MemAwareOptions options_;
+
+  /// Release profile carried across passes (holds only transient).
+  FreeProfile profile_;
+  bool cache_valid_ = false;
+  SimTime last_now_{};
+  /// The reserved queue prefix and its baseline, as of the cached pass.
+  std::vector<JobId> reserved_jobs_;
+  std::vector<Reservation> baseline_;
 };
 
 }  // namespace dmsched

@@ -1,6 +1,7 @@
 #include "memory/placement.hpp"
 
 #include <algorithm>
+#include <map>
 #include <utility>
 #include <numeric>
 
@@ -205,6 +206,40 @@ Allocation materialize(const Cluster& cluster, const Job& job,
     alloc.draws.push_back({kGlobalPoolRack, global_bytes});
   }
   return alloc;
+}
+
+TakePlan take_from(const Allocation& alloc, const ClusterConfig& config) {
+  TakePlan take;
+  take.local_per_node = alloc.local_per_node;
+  take.far_per_node = alloc.far_per_node;
+  // Group nodes by rack, then attach this allocation's pool draws.
+  std::map<RackId, RackTake> per_rack;
+  for (NodeId n : alloc.nodes) {
+    const RackId r = config.rack_of(n);
+    auto& t = per_rack[r];
+    t.rack = r;
+    ++t.nodes;
+  }
+  Bytes global_bytes{};
+  for (const auto& d : alloc.draws) {
+    if (d.rack == kGlobalPoolRack) {
+      global_bytes += d.bytes;
+    } else {
+      auto it = per_rack.find(d.rack);
+      DMSCHED_ASSERT(it != per_rack.end(),
+                     "allocation draws from a rack hosting none of its nodes");
+      it->second.rack_pool_bytes += d.bytes;
+    }
+  }
+  // The global draw is accounted on the first rack slice: profiles only use
+  // the global *total*, which is preserved.
+  take.takes.reserve(per_rack.size());
+  for (auto& [r, t] : per_rack) take.takes.push_back(t);
+  if (global_bytes > Bytes{0}) {
+    DMSCHED_ASSERT(!take.takes.empty(), "allocation with draws but no nodes");
+    take.takes.front().global_pool_bytes = global_bytes;
+  }
+  return take;
 }
 
 std::optional<Allocation> plan_start(const Cluster& cluster, const Job& job,

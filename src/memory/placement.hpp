@@ -68,6 +68,14 @@ void release_take(ResourceState& state, const TakePlan& plan);
 [[nodiscard]] Allocation materialize(const Cluster& cluster, const Job& job,
                                      const TakePlan& plan);
 
+/// The inverse of materialize: the counted resource view of a concrete
+/// allocation (nodes grouped per rack, pool draws attached). This is the
+/// plan the engine's availability timeline tracks for a started job — and
+/// the plan a scheduler must hold in its profile for a job it just started,
+/// so profile and ledger can never disagree about rack distribution.
+[[nodiscard]] TakePlan take_from(const Allocation& alloc,
+                                 const ClusterConfig& config);
+
 /// One-call convenience: plan and materialize a start for `job` now.
 [[nodiscard]] std::optional<Allocation> plan_start(const Cluster& cluster,
                                                    const Job& job,

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
-#include "sched/profile.hpp"
 
 namespace dmsched {
 
@@ -13,16 +12,30 @@ ConservativeScheduler::ConservativeScheduler(std::size_t window)
 }
 
 void ConservativeScheduler::schedule(SchedContext& ctx) {
-  const auto queue = ctx.queued_jobs();
-  if (queue.empty()) return;
-
-  FreeProfile profile = FreeProfile::from_context(ctx);
   const SimTime now = ctx.now();
+  const bool clean = profile_.sync(ctx);
 
-  std::size_t reserved = 0;
-  for (JobId id : queue) {
-    if (reserved >= window_) break;
-    ++reserved;
+  // Fast pass: nothing moved since the last pass, so every retained
+  // reservation is exactly what recomputing it would yield (its start time
+  // is a breakpoint, none of which crossed now) — only arrivals since the
+  // cached tail epoch still need a slot. Anything else (resource movement,
+  // re-ranked queue order, a hand-built context) falls back to recomputing
+  // every reservation against a freshly synced profile.
+  std::vector<JobId> todo;
+  const bool fast = clean && cache_valid_ && ctx.queue_order_stable() &&
+                    now >= last_now_;
+  if (fast) {
+    todo = ctx.queued_jobs_after(tail_epoch_);
+  } else {
+    profile_.drop_holds();
+    reserved_ = 0;
+    todo = ctx.queued_jobs();
+  }
+
+  bool any_start = false;
+  for (JobId id : todo) {
+    if (reserved_ >= window_) break;
+    ++reserved_;
     const Job& job = ctx.job(id);
     const auto walltime_bound = [&](const TakePlan& plan) {
       const double dilation = ctx.slowdown().dilation_bytes(
@@ -34,12 +47,11 @@ void ConservativeScheduler::schedule(SchedContext& ctx) {
     // (dilated) walltime against every earlier reservation, not just at its
     // start instant — that is what makes this scheduler conservative.
     const auto fit =
-        profile.earliest_fit_window(job, ctx.placement(), walltime_bound);
+        profile_.earliest_fit_window(job, ctx.placement(), walltime_bound);
     // Admitted jobs always fit once everything drains (final profile state
     // has every hold expired and every running job released).
     DMSCHED_ASSERT(fit.has_value(),
                    "conservative: admitted job has no reservation");
-    const SimTime end_bound = fit->time + walltime_bound(fit->plan);
 
     if (fit->time <= now) {
       auto alloc = plan_start(ctx.cluster(), job, ctx.placement());
@@ -47,13 +59,25 @@ void ConservativeScheduler::schedule(SchedContext& ctx) {
                      "conservative: profile said 'fits now' but the planner "
                      "disagrees");
       ctx.start_job(id, *alloc);
-      // Resources leave the free pool immediately: rebuild the base by
-      // holding them until the job's bound.
-      profile.add_hold(now, end_bound, fit->plan);
+      any_start = true;
+      // Hold the plan the job actually started with, not fit->plan: the live
+      // planner may distribute racks differently (an overdue release makes
+      // the profile more optimistic than the ledger), and a hold that
+      // disagrees with the ledger mis-prices every later reservation in this
+      // pass. The bound follows the started plan's dilation too, matching
+      // the engine's expected release.
+      const TakePlan started = take_from(*alloc, ctx.cluster().config());
+      profile_.add_hold(now, now + walltime_bound(started), started);
     } else {
-      profile.add_hold(fit->time, end_bound, fit->plan);
+      profile_.add_hold(fit->time, fit->time + walltime_bound(fit->plan),
+                        fit->plan);
     }
   }
+
+  cache_valid_ = !any_start && ctx.timeline() != nullptr &&
+                 ctx.queue_order_stable();
+  tail_epoch_ = ctx.queue_tail_epoch();
+  last_now_ = now;
 }
 
 }  // namespace dmsched

@@ -6,6 +6,8 @@
 // head jobs can be delayed by backfilled jobs that drain the pools.
 #pragma once
 
+#include <cstdint>
+
 #include "sched/scheduler.hpp"
 
 namespace dmsched {
@@ -15,10 +17,34 @@ namespace dmsched {
 ///  2. give the blocked head a node-count reservation at the shadow time;
 ///  3. backfill any later job that fits now and either finishes before the
 ///     shadow time or uses no more than the spare ("extra") nodes.
+///
+/// Incremental passes: once a pass leaves the head blocked, its shadow and
+/// extra-node budget are cached. As long as the context's availability
+/// timeline reports no resource movement and the queue order is
+/// append-stable, the next pass only judges jobs that arrived since — every
+/// already-rejected candidate would be rejected again (resources cannot
+/// appear without a timeline version bump, and both rejection rules only
+/// tighten as now advances), so re-walking the queue is pure waste.
 class EasyScheduler final : public Scheduler {
  public:
   [[nodiscard]] const char* name() const override { return "easy"; }
   void schedule(SchedContext& ctx) override;
+
+ private:
+  /// Handle the pass from the cached shadow/extra state. Returns false when
+  /// the cache is missing or stale and a full pass must run.
+  bool try_fast_pass(SchedContext& ctx);
+
+  bool cache_valid_ = false;
+  std::uint64_t timeline_id_ = 0;
+  std::uint64_t timeline_version_ = 0;
+  std::uint64_t tail_epoch_ = 0;
+  SimTime cached_now_{};
+  /// The shadow was "now" (head has the nodes, not the memory): it slides
+  /// forward with the clock instead of staying fixed.
+  bool shadow_is_now_ = false;
+  SimTime shadow_{};
+  std::int32_t extra_ = 0;
 };
 
 }  // namespace dmsched

@@ -1,46 +1,19 @@
 #include "sched/profile.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/assert.hpp"
 
 namespace dmsched {
+namespace {
 
-FreeProfile::FreeProfile(ResourceState base, SimTime now,
-                         const ClusterConfig* config)
-    : base_(std::move(base)), now_(now), config_(config) {
-  DMSCHED_ASSERT(config_ != nullptr, "FreeProfile: null config");
+std::uint64_t next_timeline_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
-FreeProfile FreeProfile::from_context(const SchedContext& ctx) {
-  FreeProfile profile(snapshot(ctx.cluster()), ctx.now(),
-                      &ctx.cluster().config());
-  for (const RunningJob& r : ctx.running_jobs()) {
-    profile.add_release(r.expected_end, r.take);
-  }
-  return profile;
-}
-
-void FreeProfile::add_release(SimTime time, const TakePlan& take) {
-  // A release whose expected time already passed (dilated job overrunning
-  // its walltime bound) is treated as "any moment now".
-  deltas_.push_back({max(time, now_), take, /*adds=*/true});
-}
-
-void FreeProfile::add_hold(SimTime start, SimTime end, const TakePlan& take) {
-  DMSCHED_ASSERT(start >= now_, "add_hold: hold starts in the past");
-  DMSCHED_ASSERT(end > start, "add_hold: empty hold");
-  deltas_.push_back({start, take, /*adds=*/false});
-  deltas_.push_back({end, take, /*adds=*/true});
-}
-
-void FreeProfile::rollback(Mark m) {
-  DMSCHED_ASSERT(m <= deltas_.size(), "rollback: mark from the future");
-  deltas_.resize(m);
-}
-
-void FreeProfile::apply_signed(ResourceState& state, const TakePlan& take,
-                               bool adds) {
+void apply_signed(ResourceState& state, const TakePlan& take, bool adds) {
   if (adds) {
     release_take(state, take);
   } else {
@@ -48,109 +21,263 @@ void FreeProfile::apply_signed(ResourceState& state, const TakePlan& take,
   }
 }
 
+}  // namespace
+
+// --- AvailabilityTimeline ----------------------------------------------------
+
+AvailabilityTimeline::AvailabilityTimeline(const ClusterConfig& config)
+    : config_(&config),
+      base_free_(empty_state(config)),
+      id_(next_timeline_id()) {}
+
+void AvailabilityTimeline::on_start(JobId id, SimTime release_at,
+                                    const TakePlan& take) {
+  apply_take(base_free_, take);
+  // upper_bound keeps equal release times in start order — the order a
+  // rebuild over the running list would see them in.
+  const auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), release_at,
+      [](SimTime t, const Entry& e) { return t < e.time; });
+  entries_.insert(it, Entry{release_at, id, take});
+  ++version_;
+}
+
+void AvailabilityTimeline::on_finish(JobId id, SimTime release_at) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), release_at,
+      [](const Entry& e, SimTime t) { return e.time < t; });
+  while (it != entries_.end() && it->time == release_at && it->job != id) ++it;
+  DMSCHED_ASSERT(it != entries_.end() && it->time == release_at,
+                 "AvailabilityTimeline: finish for untracked job");
+  release_take(base_free_, it->take);
+  entries_.erase(it);
+  ++version_;
+}
+
+bool AvailabilityTimeline::has_release_in(SimTime after, SimTime upto) const {
+  const auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), after,
+      [](SimTime t, const Entry& e) { return t < e.time; });
+  return it != entries_.end() && it->time <= upto;
+}
+
+// --- FreeProfile -------------------------------------------------------------
+
+FreeProfile::FreeProfile(ResourceState base, SimTime now,
+                         const ClusterConfig* config) {
+  reset(std::move(base), now, config);
+}
+
+void FreeProfile::reset(ResourceState base, SimTime now,
+                        const ClusterConfig* config) {
+  DMSCHED_ASSERT(config != nullptr, "FreeProfile: null config");
+  base_ = std::move(base);
+  now_ = now;
+  config_ = config;
+  deltas_.clear();
+  ordered_.clear();
+  base_mark_ = 0;
+  from_timeline_ = false;
+  timeline_id_ = 0;
+  timeline_version_ = 0;
+  cache_times_.clear();
+  cache_states_.clear();
+  cache_consumed_.clear();
+}
+
+FreeProfile FreeProfile::from_context(const SchedContext& ctx) {
+  FreeProfile profile;
+  profile.sync(ctx);
+  return profile;
+}
+
+bool FreeProfile::sync(const SchedContext& ctx) {
+  const AvailabilityTimeline* tl = ctx.timeline();
+  const SimTime now = ctx.now();
+  if (tl != nullptr && from_timeline_ && timeline_id_ == tl->id() &&
+      timeline_version_ == tl->version() && now >= now_ &&
+      next_change_after(now_) > now) {
+    // Clean: no resources moved and no delta (release or hold boundary)
+    // crossed now since the last pass — the profile, its holds, and the
+    // prefix-state cache all stay valid; only the clock advances.
+    now_ = now;
+    return true;
+  }
+  if (tl != nullptr) {
+    reset(tl->free_now(), now, &tl->config());
+    const auto& entries = tl->entries();
+    deltas_.reserve(entries.size());
+    ordered_.reserve(entries.size());
+    for (const auto& e : entries) {
+      // Timeline entries are already in delta_precedes order (all adds,
+      // time-sorted), so ordered_ is just the identity — no sort.
+      deltas_.push_back({e.time, e.take, /*adds=*/true});
+      ordered_.push_back(static_cast<std::uint32_t>(ordered_.size()));
+    }
+    from_timeline_ = true;
+    timeline_id_ = tl->id();
+    timeline_version_ = tl->version();
+  } else {
+    reset(snapshot(ctx.cluster()), now, &ctx.cluster().config());
+    for (const RunningJob& r : ctx.running_jobs()) {
+      add_release(r.expected_end, r.take);
+    }
+  }
+  base_mark_ = deltas_.size();
+  return false;
+}
+
+void FreeProfile::drop_holds() { rollback(base_mark_); }
+
+void FreeProfile::add_release(SimTime time, const TakePlan& take) {
+  // An expected release in the past (a dilated job overrunning its walltime
+  // bound) needs no clamp: every query instant is >= now(), so the delta is
+  // folded into the sweep-start state either way.
+  insert_delta({time, take, /*adds=*/true});
+}
+
+void FreeProfile::add_hold(SimTime start, SimTime end, const TakePlan& take) {
+  DMSCHED_ASSERT(start >= now_, "add_hold: hold starts in the past");
+  DMSCHED_ASSERT(end > start, "add_hold: empty hold");
+  insert_delta({start, take, /*adds=*/false});
+  insert_delta({end, take, /*adds=*/true});
+}
+
+void FreeProfile::insert_delta(ProfileDelta d) {
+  invalidate_cache_from(d.time);
+  const auto idx = static_cast<std::uint32_t>(deltas_.size());
+  deltas_.push_back(std::move(d));
+  const ProfileDelta& nd = deltas_.back();
+  // upper_bound: equal deltas land after existing ones, so ties within one
+  // (time, adds) class keep insertion order — exactly what stable_sort over
+  // the insertion-ordered vector used to produce.
+  const auto it = std::upper_bound(
+      ordered_.begin(), ordered_.end(), nd,
+      [this](const ProfileDelta& a, std::uint32_t bi) {
+        return delta_precedes(a, deltas_[bi]);
+      });
+  ordered_.insert(it, idx);
+}
+
+void FreeProfile::rollback(Mark m) {
+  DMSCHED_ASSERT(m <= deltas_.size(), "rollback: mark from the future");
+  if (m == deltas_.size()) return;
+  SimTime first_removed = kTimeInfinity;
+  for (std::size_t i = m; i < deltas_.size(); ++i) {
+    first_removed = std::min(first_removed, deltas_[i].time);
+  }
+  invalidate_cache_from(first_removed);
+  ordered_.erase(std::remove_if(ordered_.begin(), ordered_.end(),
+                                [m](std::uint32_t i) { return i >= m; }),
+                 ordered_.end());
+  deltas_.resize(m);
+}
+
+void FreeProfile::invalidate_cache_from(SimTime t) const {
+  const auto it =
+      std::lower_bound(cache_times_.begin(), cache_times_.end(), t);
+  const auto keep = static_cast<std::size_t>(it - cache_times_.begin());
+  // Surviving rows only fold deltas with time < t; a delta inserted or
+  // removed at time >= t sits after that prefix in ordered_, so the rows'
+  // consumed counts stay valid.
+  cache_times_.resize(keep);
+  cache_states_.resize(keep);
+  cache_consumed_.resize(keep);
+}
+
+void FreeProfile::ensure_cached_to(SimTime t) const {
+  if (!cache_times_.empty() && cache_times_.back() >= t) return;
+  std::size_t i = cache_consumed_.empty() ? 0 : cache_consumed_.back();
+  if (i >= ordered_.size() || deltas_[ordered_[i]].time > t) return;
+  ResourceState state = cache_states_.empty() ? base_ : cache_states_.back();
+  while (i < ordered_.size() && deltas_[ordered_[i]].time <= t) {
+    const SimTime row_time = deltas_[ordered_[i]].time;
+    // One row per distinct delta time, with every delta at that time folded
+    // (adds before subtracts, per ordered_) — intermediate same-time states
+    // are never observable, matching the "apply everything <= t" contract.
+    while (i < ordered_.size() && deltas_[ordered_[i]].time == row_time) {
+      const ProfileDelta& d = deltas_[ordered_[i]];
+      apply_signed(state, d.take, d.adds);
+      ++i;
+    }
+    cache_times_.push_back(row_time);
+    cache_states_.push_back(state);
+    cache_consumed_.push_back(i);
+  }
+}
+
+const ResourceState& FreeProfile::state_covering(SimTime t) const {
+  ensure_cached_to(t);
+  const auto it =
+      std::upper_bound(cache_times_.begin(), cache_times_.end(), t);
+  if (it == cache_times_.begin()) return base_;
+  return cache_states_[static_cast<std::size_t>(it - cache_times_.begin()) -
+                       1];
+}
+
 ResourceState FreeProfile::state_at(SimTime time) const {
   DMSCHED_ASSERT(time >= now_, "state_at: time in the past");
-  ResourceState state = base_;
-  // Apply additions before subtractions at equal timestamps so a hold that
-  // begins exactly when a release lands is satisfiable.
-  std::vector<const Delta*> applicable;
-  for (const auto& d : deltas_) {
-    if (d.time <= time) applicable.push_back(&d);
-  }
-  std::stable_sort(applicable.begin(), applicable.end(),
-                   [](const Delta* a, const Delta* b) {
-                     if (a->time != b->time) return a->time < b->time;
-                     return a->adds && !b->adds;
-                   });
-  for (const Delta* d : applicable) apply_signed(state, d->take, d->adds);
-  return state;
+  return state_covering(time);
+}
+
+SimTime FreeProfile::next_change_after(SimTime t) const {
+  const auto it = std::upper_bound(
+      ordered_.begin(), ordered_.end(), t,
+      [this](SimTime v, std::uint32_t i) { return v < deltas_[i].time; });
+  if (it == ordered_.end()) return kTimeInfinity;
+  return deltas_[*it].time;
 }
 
 std::vector<SimTime> FreeProfile::breakpoints() const {
   std::vector<SimTime> times;
+  times.reserve(ordered_.size() + 1);
   times.push_back(now_);
-  for (const auto& d : deltas_) {
-    if (d.time >= now_) times.push_back(d.time);
+  for (const std::uint32_t i : ordered_) {
+    if (deltas_[i].time >= now_) times.push_back(deltas_[i].time);
   }
-  std::sort(times.begin(), times.end());
+  // ordered_ is time-sorted, so after the leading now_ the vector is
+  // already sorted; only duplicates remain to strip.
   times.erase(std::unique(times.begin(), times.end()), times.end());
   return times;
+}
+
+std::optional<FreeProfile::Fit> FreeProfile::earliest_fit(
+    const Job& job, PlacementPolicy policy) const {
+  // Sweep the breakpoints in order against the cached prefix states. Holds
+  // make availability non-monotone, so every breakpoint is tested — but a
+  // repeated sweep over an unchanged prefix is pure cache hits.
+  SimTime t = now_;
+  for (;;) {
+    if (auto plan = compute_take(state_covering(t), *config_, job, policy)) {
+      return Fit{t, std::move(*plan)};
+    }
+    const SimTime next = next_change_after(t);
+    if (next == kTimeInfinity) return std::nullopt;  // final state tested
+    t = next;
+  }
 }
 
 std::optional<FreeProfile::Fit> FreeProfile::earliest_fit_window(
     const Job& job, PlacementPolicy policy,
     const std::function<SimTime(const TakePlan&)>& duration_of) const {
-  // Precompute the state at every breakpoint (including now). Memory is
-  // O(breakpoints × racks), which is small; it lets the window check below
-  // probe arbitrary future instants cheaply.
-  std::vector<const Delta*> ordered;
-  ordered.reserve(deltas_.size());
-  for (const auto& d : deltas_) ordered.push_back(&d);
-  std::stable_sort(ordered.begin(), ordered.end(),
-                   [](const Delta* a, const Delta* b) {
-                     if (a->time != b->time) return a->time < b->time;
-                     return a->adds && !b->adds;
-                   });
-
-  std::vector<SimTime> times;
-  std::vector<ResourceState> states;
-  ResourceState state = base_;
-  std::size_t i = 0;
   SimTime t = now_;
   for (;;) {
-    while (i < ordered.size() && ordered[i]->time <= t) {
-      apply_signed(state, ordered[i]->take, ordered[i]->adds);
-      ++i;
-    }
-    times.push_back(t);
-    states.push_back(state);
-    if (i >= ordered.size()) break;
-    t = ordered[i]->time;
-  }
-
-  for (std::size_t start = 0; start < times.size(); ++start) {
-    auto plan = compute_take(states[start], *config_, job, policy);
-    if (!plan) continue;
-    const SimTime end = times[start] + duration_of(*plan);
-    bool continuous = true;
-    for (std::size_t k = start + 1; k < times.size() && times[k] < end; ++k) {
-      if (!can_apply(states[k], *plan)) {
-        continuous = false;
-        break;
+    auto plan = compute_take(state_covering(t), *config_, job, policy);
+    if (plan) {
+      const SimTime end = t + duration_of(*plan);
+      bool continuous = true;
+      for (SimTime u = next_change_after(t); u < end;
+           u = next_change_after(u)) {
+        if (!can_apply(state_covering(u), *plan)) {
+          continuous = false;
+          break;
+        }
       }
+      if (continuous) return Fit{t, std::move(*plan)};
     }
-    if (continuous) return Fit{times[start], std::move(*plan)};
-  }
-  return std::nullopt;
-}
-
-std::optional<FreeProfile::Fit> FreeProfile::earliest_fit(
-    const Job& job, PlacementPolicy policy) const {
-  // Sweep the breakpoints in order, maintaining the state incrementally.
-  // Holds make availability non-monotone, so every breakpoint is tested.
-  std::vector<const Delta*> ordered;
-  ordered.reserve(deltas_.size());
-  for (const auto& d : deltas_) ordered.push_back(&d);
-  std::stable_sort(ordered.begin(), ordered.end(),
-                   [](const Delta* a, const Delta* b) {
-                     if (a->time != b->time) return a->time < b->time;
-                     return a->adds && !b->adds;
-                   });
-
-  ResourceState state = base_;
-  std::size_t i = 0;
-  SimTime t = now_;
-  for (;;) {
-    // Apply every delta effective at or before t.
-    while (i < ordered.size() && ordered[i]->time <= t) {
-      apply_signed(state, ordered[i]->take, ordered[i]->adds);
-      ++i;
-    }
-    if (auto plan = compute_take(state, *config_, job, policy)) {
-      return Fit{t, std::move(*plan)};
-    }
-    if (i >= ordered.size()) return std::nullopt;  // final state tested
-    t = ordered[i]->time;
+    const SimTime next = next_change_after(t);
+    if (next == kTimeInfinity) return std::nullopt;
+    t = next;
   }
 }
 

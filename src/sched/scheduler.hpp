@@ -7,6 +7,7 @@
 // against hand-built scenarios.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -16,6 +17,8 @@
 #include "workload/job.hpp"
 
 namespace dmsched {
+
+class AvailabilityTimeline;
 
 /// Planning view of a running job.
 struct RunningJob {
@@ -44,6 +47,40 @@ class SchedContext {
   [[nodiscard]] virtual const SlowdownModel& slowdown() const = 0;
   /// The machine's rack-scale memory model (tier capacities, headroom).
   [[nodiscard]] virtual const Topology& topology() const = 0;
+
+  // --- incremental-pass contract (push-based invalidation) ------------------
+  // A context MAY expose the engine's persistent availability timeline plus
+  // an append-only view of the queue. Schedulers use these to skip work that
+  // a full pass would provably repeat: an unchanged timeline version means
+  // no resources moved since the cached pass, and `queued_jobs_after` names
+  // the only candidates a previously-converged pass has not yet judged. The
+  // defaults (no timeline, unstable order, full queue) make every cached
+  // fast path disable itself, so hand-rolled contexts stay correct unopted.
+
+  /// The persistent release timeline, or nullptr when the context does not
+  /// maintain one (schedulers then rebuild profiles from the running list).
+  [[nodiscard]] virtual const AvailabilityTimeline* timeline() const {
+    return nullptr;
+  }
+
+  /// True when queued_jobs() order is append-stable: new arrivals only ever
+  /// append, and the relative order of already-queued jobs never changes
+  /// between passes (FCFS). Priority/SJF orders re-rank on every pass, so
+  /// incremental queue suffixes are meaningless there.
+  [[nodiscard]] virtual bool queue_order_stable() const { return false; }
+
+  /// Monotone counter of lifetime queue appends (not current length —
+  /// starts do not decrease it). Epoch E captured after a pass means that
+  /// pass saw every job appended before E.
+  [[nodiscard]] virtual std::uint64_t queue_tail_epoch() const { return 0; }
+
+  /// Still-queued jobs appended at or after `epoch`, in append order. The
+  /// default returns the whole queue — always correct, never incremental.
+  [[nodiscard]] virtual std::vector<JobId> queued_jobs_after(
+      std::uint64_t epoch) const {
+    (void)epoch;
+    return queued_jobs();
+  }
 
   /// Commit `alloc` for `job`, schedule its completion, remove it from the
   /// queue. The allocation must have been planned against the current

@@ -7,6 +7,7 @@
 
 #include "common/assert.hpp"
 #include "core/engine.hpp"
+#include "sched/profile.hpp"
 #include "sched/queue_policy.hpp"
 #include "sched/scheduler.hpp"
 
@@ -26,8 +27,17 @@ class FakeContext final : public SchedContext {
   void set_slowdown(SlowdownModel m) { slowdown_ = m; }
   void set_queue_order(QueueOrder order) { order_ = order; }
 
+  /// Opt in to the incremental-pass contract: expose the maintained
+  /// availability timeline and the append-stable queue view, like the engine
+  /// does. Tests that enable this must not hand-mutate the cluster through
+  /// mutable_cluster() — the timeline only tracks admit()/finish().
+  void enable_timeline() { use_timeline_ = true; }
+
   /// Put a job in the waiting queue.
-  void enqueue(JobId id) { queue_.push_back(id); }
+  void enqueue(JobId id) {
+    queue_.push_back(id);
+    append_log_.push_back(id);
+  }
 
   /// Start a job directly (bypassing any scheduler) so tests can set up a
   /// running set. Uses the context's placement policy.
@@ -54,8 +64,11 @@ class FakeContext final : public SchedContext {
   /// Finish a running job: release resources, drop from the running set.
   void finish(JobId id) {
     cluster_.release(id);
-    running_.erase(std::find_if(running_.begin(), running_.end(),
-                                [&](const RunningJob& r) { return r.id == id; }));
+    const auto it =
+        std::find_if(running_.begin(), running_.end(),
+                     [&](const RunningJob& r) { return r.id == id; });
+    timeline_.on_finish(id, it->expected_end);
+    running_.erase(it);
   }
 
   // --- SchedContext ----------------------------------------------------------
@@ -87,6 +100,28 @@ class FakeContext final : public SchedContext {
     started_.push_back(id);
   }
 
+  [[nodiscard]] const AvailabilityTimeline* timeline() const override {
+    return use_timeline_ ? &timeline_ : nullptr;
+  }
+  [[nodiscard]] bool queue_order_stable() const override {
+    return use_timeline_ && order_ == QueueOrder::kFcfs;
+  }
+  [[nodiscard]] std::uint64_t queue_tail_epoch() const override {
+    return append_log_.size();
+  }
+  [[nodiscard]] std::vector<JobId> queued_jobs_after(
+      std::uint64_t epoch) const override {
+    std::vector<JobId> out;
+    for (std::size_t i = static_cast<std::size_t>(epoch);
+         i < append_log_.size(); ++i) {
+      const JobId id = append_log_[i];
+      if (std::find(queue_.begin(), queue_.end(), id) != queue_.end()) {
+        out.push_back(id);
+      }
+    }
+    return out;
+  }
+
  private:
   void admit(JobId id, const Allocation& alloc) {
     cluster_.commit(alloc);
@@ -97,6 +132,7 @@ class FakeContext final : public SchedContext {
     r.expected_end = now_ + j.walltime.scaled(dilation);
     r.take = SchedulingSimulation::take_from_allocation(alloc, config_);
     running_.push_back(r);
+    timeline_.on_start(id, r.expected_end, r.take);
   }
 
   ClusterConfig config_;
@@ -108,7 +144,10 @@ class FakeContext final : public SchedContext {
                              PoolRouting::kRackThenGlobal};
   SlowdownModel slowdown_{};
   QueueOrder order_ = QueueOrder::kFcfs;
+  AvailabilityTimeline timeline_{config_};
+  bool use_timeline_ = false;
   std::vector<JobId> queue_;
+  std::vector<JobId> append_log_;
   std::vector<RunningJob> running_;
   std::vector<JobId> started_;
 };
