@@ -3,6 +3,7 @@
 // so the numbers across tables/figures describe the same system.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -60,6 +61,35 @@ inline std::string num(std::size_t n) {
 /// `<name>.csv` so plots can be regenerated without re-running.
 inline CsvWriter csv_for(const std::string& bench_name) {
   return CsvWriter(bench_name + ".csv");
+}
+
+/// Peak resident set size of this process in KiB (VmHWM from
+/// /proc/self/status), or -1 where procfs is unavailable (non-Linux).
+inline std::int64_t peak_rss_kib() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  std::int64_t kib = -1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    long long v = 0;
+    if (std::sscanf(line, "VmHWM: %lld kB", &v) == 1) {
+      kib = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib;
+}
+
+/// Reset the kernel's peak-RSS watermark so per-phase peaks are measurable
+/// (writes "5" to /proc/self/clear_refs). Best-effort: returns false where
+/// the control file is unavailable, in which case VmHWM stays cumulative
+/// over the process lifetime — report it as such, don't fail the bench.
+inline bool reset_peak_rss() {
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
 }
 
 }  // namespace dmsched::bench

@@ -44,6 +44,19 @@
 //                   fails the bench instead of benchmarking different
 //                   schedules.
 //
+//   streaming ingestion — the million-replay scenario pulled through the
+//                   TraceSource path at a bounded submission look-ahead vs.
+//                   the eager materialize-then-push path, with peak RSS
+//                   (VmHWM) and the event queue's peak live id window as the
+//                   memory gauges and jobs/sec as the throughput gauge. The
+//                   two arms are cross-checked job-for-job and by the
+//                   engine's semantic event digest — FATAL on any drift —
+//                   and the bench *enforces* the bounded-memory claim: the
+//                   eager arm's peak id window must be ≥10× the streaming
+//                   arm's. Results go to million_replay.csv (uploaded by
+//                   CI, which runs `sim_throughput --smoke` for this
+//                   section only at a CI-sized job count).
+//
 // Results go to the console and sim_throughput.csv; bench/README.md records
 // representative numbers.
 #include <algorithm>
@@ -52,6 +65,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -291,9 +305,172 @@ bool same_schedule(const RunMetrics& a, const RunMetrics& b) {
          a.mean_bsld == b.mean_bsld && a.mean_dilation == b.mean_dilation;
 }
 
+// --- streaming ingestion (million-replay) -----------------------------------
+
+struct IngestArm {
+  RunMetrics metrics;
+  std::uint64_t digest = 0;
+  std::size_t peak_id_window = 0;
+  double elapsed_s = 0.0;
+  std::int64_t peak_rss_kib = -1;
+};
+
+/// One streamed replay: jobs pulled on demand, bounded look-ahead. Memory
+/// per in-flight job is O(live): the event queue's id window and the live
+/// job records both stay bounded. (Per-job *outcomes* are still collected —
+/// RunMetrics::jobs is O(trace) in both arms — so the enforced criterion is
+/// the event-queue id window, and RSS is reported as observed.)
+IngestArm run_streaming_arm(std::size_t jobs, std::size_t lookahead) {
+  reset_peak_rss();
+  ScenarioStream stream = make_scenario_stream("million-replay",
+                                               {.jobs = jobs});
+  ExperimentConfig cfg = scenario_experiment(stream, SchedulerKind::kEasy);
+  cfg.engine.submit_lookahead = lookahead;
+  IngestArm a;
+  const auto start = Clock::now();
+  SchedulingSimulation sim(cfg.cluster, *stream.source,
+                           make_scheduler(cfg.scheduler, cfg.mem_options),
+                           cfg.engine);
+  a.metrics = sim.run();
+  a.elapsed_s = sec_since(start);
+  a.digest = sim.event_digest();
+  a.peak_id_window = sim.peak_event_id_window();
+  a.peak_rss_kib = peak_rss_kib();
+  return a;
+}
+
+/// The historical path: the whole trace materialized, every submission
+/// pushed up front (look-ahead 0).
+IngestArm run_eager_arm(std::size_t jobs) {
+  reset_peak_rss();
+  const Scenario scenario = make_scenario("million-replay", {.jobs = jobs});
+  const ExperimentConfig cfg =
+      scenario_experiment(scenario, SchedulerKind::kEasy);
+  IngestArm a;
+  const auto start = Clock::now();
+  SchedulingSimulation sim(cfg.cluster, scenario.trace,
+                           make_scheduler(cfg.scheduler, cfg.mem_options),
+                           cfg.engine);
+  a.metrics = sim.run();
+  a.elapsed_s = sec_since(start);
+  a.digest = sim.event_digest();
+  a.peak_id_window = sim.peak_event_id_window();
+  a.peak_rss_kib = peak_rss_kib();
+  return a;
+}
+
+/// Cross-check the two arms job-for-job and by digest. Returns false (after
+/// printing a diagnostic) on any drift.
+bool arms_agree(std::size_t jobs, const IngestArm& stream,
+                const IngestArm& eager) {
+  if (stream.digest != eager.digest) {
+    std::fprintf(stderr,
+                 "FATAL: event digest drift at %zu jobs "
+                 "(stream %llx vs eager %llx)\n",
+                 jobs, static_cast<unsigned long long>(stream.digest),
+                 static_cast<unsigned long long>(eager.digest));
+    return false;
+  }
+  if (!same_schedule(stream.metrics, eager.metrics) ||
+      stream.metrics.jobs.size() != eager.metrics.jobs.size()) {
+    std::fprintf(stderr, "FATAL: metrics drift at %zu jobs\n", jobs);
+    return false;
+  }
+  for (std::size_t i = 0; i < stream.metrics.jobs.size(); ++i) {
+    const JobOutcome& s = stream.metrics.jobs[i];
+    const JobOutcome& e = eager.metrics.jobs[i];
+    if (s.fate != e.fate || s.submit != e.submit || s.start != e.start ||
+        s.end != e.end || s.dilation != e.dilation) {
+      std::fprintf(stderr, "FATAL: outcome drift at %zu jobs (job %zu)\n",
+                   jobs, i);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string rss_mib(std::int64_t kib) {
+  return kib < 0 ? std::string("n/a") : f1(static_cast<double>(kib) / 1024.0);
+}
+
+/// Run the streaming-ingestion section. Returns false on a cross-check or
+/// bounded-memory-criterion failure.
+bool run_streaming_section(const std::vector<std::size_t>& sizes) {
+  constexpr std::size_t kLookahead = 256;
+  ConsoleTable table(
+      "streaming ingestion — million-replay, pull-based source "
+      "(lookahead 256) vs. eager materialize-and-push");
+  table.columns({"jobs", "stream (s)", "eager (s)", "stream jobs/s",
+                 "eager jobs/s", "stream idwin", "eager idwin", "win ratio",
+                 "stream RSS (MiB)", "eager RSS (MiB)"});
+  auto csv = csv_for("million_replay");
+  csv.header({"arm", "jobs", "lookahead", "elapsed_s", "jobs_per_s",
+              "peak_event_id_window", "peak_rss_kib", "id_window_ratio"});
+
+  for (const std::size_t jobs : sizes) {
+    // Streaming first: it runs against a fresh watermark, so its RSS figure
+    // cannot inherit the eager arm's materialized trace.
+    const IngestArm stream = run_streaming_arm(jobs, kLookahead);
+    const IngestArm eager = run_eager_arm(jobs);
+    if (!arms_agree(jobs, stream, eager)) return false;
+    if (stream.peak_id_window == 0 ||
+        eager.peak_id_window / stream.peak_id_window < 10) {
+      std::fprintf(stderr,
+                   "FATAL: bounded-memory criterion failed at %zu jobs: "
+                   "eager peak id window %zu is not >= 10x streaming "
+                   "peak %zu\n",
+                   jobs, eager.peak_id_window, stream.peak_id_window);
+      return false;
+    }
+    const double ratio = static_cast<double>(eager.peak_id_window) /
+                         static_cast<double>(stream.peak_id_window);
+    table.row({num(jobs), f3(stream.elapsed_s), f3(eager.elapsed_s),
+               f1(static_cast<double>(jobs) / stream.elapsed_s),
+               f1(static_cast<double>(jobs) / eager.elapsed_s),
+               num(stream.peak_id_window), num(eager.peak_id_window),
+               strformat("%.0fx", ratio), rss_mib(stream.peak_rss_kib),
+               rss_mib(eager.peak_rss_kib)});
+    csv.add("stream")
+        .add(jobs)
+        .add(kLookahead)
+        .add(stream.elapsed_s)
+        .add(static_cast<double>(jobs) / stream.elapsed_s)
+        .add(stream.peak_id_window)
+        .add(stream.peak_rss_kib)
+        .add(ratio);
+    csv.end_row();
+    csv.add("eager")
+        .add(jobs)
+        .add(std::size_t{0})
+        .add(eager.elapsed_s)
+        .add(static_cast<double>(jobs) / eager.elapsed_s)
+        .add(eager.peak_id_window)
+        .add(eager.peak_rss_kib)
+        .add(ratio);
+    csv.end_row();
+  }
+  table.print();
+  return true;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke: CI mode — only the streaming-ingestion section, at a job count
+  // sized for a CI runner. The full default run covers all sections and
+  // takes the streaming comparison to a million jobs.
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+
+  // Streaming ingestion runs first so its RSS watermarks are clean.
+  const std::vector<std::size_t> ingest_sizes =
+      smoke ? std::vector<std::size_t>{20000}
+            : std::vector<std::size_t>{100000, 1000000};
+  if (!run_streaming_section(ingest_sizes)) return 1;
+  if (smoke) return 0;
+
   const std::size_t kSizes[] = {1000, 10000, 100000};
 
   ConsoleTable table(

@@ -62,15 +62,38 @@ SchedulingSimulation::SchedulingSimulation(ClusterConfig config,
                                            const Trace& trace,
                                            std::unique_ptr<Scheduler> scheduler,
                                            EngineOptions options)
+    : SchedulingSimulation(std::move(config), &trace, nullptr,
+                           std::move(scheduler), options) {}
+
+SchedulingSimulation::SchedulingSimulation(ClusterConfig config,
+                                           TraceSource& source,
+                                           std::unique_ptr<Scheduler> scheduler,
+                                           EngineOptions options)
+    : SchedulingSimulation(std::move(config), nullptr, &source,
+                           std::move(scheduler), options) {}
+
+SchedulingSimulation::SchedulingSimulation(ClusterConfig config,
+                                           const Trace* trace,
+                                           TraceSource* source,
+                                           std::unique_ptr<Scheduler> scheduler,
+                                           EngineOptions options)
     : config_(std::move(config)),
       trace_(trace),
+      source_(source),
       scheduler_(std::move(scheduler)),
       options_(options),
       cluster_(config_),
       topology_(config_),
-      timeline_(config_),
-      rt_(trace.size()) {
+      timeline_(config_) {
   DMSCHED_ASSERT(scheduler_ != nullptr, "simulation needs a scheduler");
+  DMSCHED_ASSERT((trace_ != nullptr) != (source_ != nullptr),
+                 "simulation needs exactly one job input");
+  // Per-job bookkeeping (rt_, outcome records) grows with pulls; reserving
+  // from the known/advisory size avoids reallocation churn, nothing more.
+  const std::size_t expect =
+      trace_ ? trace_->size() : source_->size_hint().value_or(0);
+  rt_.reserve(expect);
+  metrics_.jobs.reserve(expect);
   metrics_.label = std::string(scheduler_->name()) + "/" + config_.name;
 }
 
@@ -79,12 +102,22 @@ SimTime SchedulingSimulation::now() const { return engine_.now(); }
 const Cluster& SchedulingSimulation::cluster() const { return cluster_; }
 
 const Job& SchedulingSimulation::job(JobId id) const {
-  return trace_.job(id);
+  if (trace_ != nullptr) return trace_->job(id);
+  const auto it = live_jobs_rec_.find(id);
+  DMSCHED_ASSERT(it != live_jobs_rec_.end(),
+                 "job(): not a live job (streaming runs drop terminal jobs)");
+  return it->second;
 }
 
 std::vector<JobId> SchedulingSimulation::queued_jobs() const {
   std::vector<JobId> ids = queue_.to_vector(rt_);
-  order_queue(ids, trace_.jobs(), options_.queue_order, engine_.now());
+  if (trace_ != nullptr) {
+    order_queue(ids, trace_->jobs(), options_.queue_order, engine_.now());
+  } else {
+    order_queue(
+        ids, [this](JobId id) -> const Job& { return job(id); },
+        options_.queue_order, engine_.now());
+  }
   return ids;
 }
 
@@ -166,6 +199,134 @@ void SchedulingSimulation::sample_series() {
   }
 }
 
+bool SchedulingSimulation::pull_one() {
+  Job j;
+  if (trace_ != nullptr) {
+    if (next_pull_ >= trace_->size()) {
+      source_dry_ = true;
+      return false;
+    }
+    j = trace_->jobs()[next_pull_++];
+  } else {
+    std::optional<Job> next = source_->next();
+    if (!next.has_value()) {
+      source_dry_ = true;
+      return false;
+    }
+    j = *std::move(next);
+  }
+  // Trace::make enforces these for the eager path; sources are arbitrary
+  // code, so re-check at the boundary.
+  DMSCHED_ASSERT(j.nodes > 0, "pulled job requests no nodes");
+  DMSCHED_ASSERT(j.runtime > SimTime{0}, "pulled job has no runtime");
+  DMSCHED_ASSERT(j.walltime >= j.runtime, "pulled job walltime < runtime");
+  DMSCHED_ASSERT(j.mem_per_node >= Bytes{0}, "pulled job memory negative");
+  DMSCHED_ASSERT(!pulled_any_ || j.submit >= last_pull_submit_,
+                 "job input is not sorted by submission time");
+  if (!pulled_any_) first_submit_ = j.submit;
+  pulled_any_ = true;
+  last_pull_submit_ = j.submit;
+
+  // Ids are assigned in pull order; for a Trace (sorted, ids = indices)
+  // this reproduces the job's own id.
+  const JobId id = next_pull_id_++;
+  j.id = id;
+  rt_.emplace_back();
+
+  // Static outcome fields are captured at pull time so the job record can
+  // be dropped once terminal; dynamic fields are filled after the run.
+  JobOutcome o;
+  o.id = id;
+  o.submit = j.submit;
+  o.nodes = j.nodes;
+  o.mem_per_node = j.mem_per_node;
+  o.runtime = j.runtime;
+  o.sensitivity = j.sensitivity;
+  o.user = j.user;
+  metrics_.jobs.push_back(o);
+
+  const SimTime submit = j.submit;
+  if (source_ != nullptr) live_jobs_rec_.emplace(id, std::move(j));
+  ++live_jobs_;
+  ++pending_submissions_;
+  engine_.schedule_at(submit, sim::EventClass::kSubmission,
+                      [this, id](SimTime) { handle_submit(id); });
+  return true;
+}
+
+void SchedulingSimulation::refill_submissions() {
+  const std::size_t target = options_.submit_lookahead;
+  while (!source_dry_ && (target == 0 || pending_submissions_ < target)) {
+    if (!pull_one()) break;
+  }
+}
+
+void SchedulingSimulation::window_integrate(SimTime from, SimTime to) {
+  const double dt = (to - from).seconds();
+  if (dt <= 0.0) return;
+  window_acc_.busy_node_seconds +=
+      static_cast<double>(cluster_.busy_nodes()) * dt;
+  window_acc_.queued_job_seconds += static_cast<double>(queue_.size()) * dt;
+  window_acc_.running_job_seconds +=
+      static_cast<double>(running_.size()) * dt;
+  window_acc_.rack_pool_gib_seconds += cluster_.rack_pools_used().gib() * dt;
+  window_acc_.global_pool_gib_seconds +=
+      cluster_.global_pool_used().gib() * dt;
+}
+
+void SchedulingSimulation::window_advance() {
+  const SimTime w = options_.checkpoint_interval;
+  if (w <= SimTime{0}) return;
+  const SimTime now = engine_.now();
+  // Close every window whose boundary the clock has reached. State is
+  // integrated with pre-mutation values, which is why every handler calls
+  // this first.
+  for (;;) {
+    const SimTime boundary{(window_index_ + 1) * w.usec()};
+    if (boundary > now) break;
+    window_integrate(window_frontier_, boundary);
+    window_acc_.start = SimTime{window_index_ * w.usec()};
+    window_acc_.end = boundary;
+    metrics_.windows.push_back(window_acc_);
+    window_acc_ = MetricsWindow{};
+    window_frontier_ = boundary;
+    ++window_index_;
+  }
+  window_integrate(window_frontier_, now);
+  window_frontier_ = now;
+}
+
+void SchedulingSimulation::flush_final_window() {
+  const SimTime w = options_.checkpoint_interval;
+  if (w <= SimTime{0}) return;
+  const SimTime end = max(last_end_, window_frontier_);
+  for (;;) {
+    const SimTime boundary{(window_index_ + 1) * w.usec()};
+    if (boundary > end) break;
+    window_integrate(window_frontier_, boundary);
+    window_acc_.start = SimTime{window_index_ * w.usec()};
+    window_acc_.end = boundary;
+    metrics_.windows.push_back(window_acc_);
+    window_acc_ = MetricsWindow{};
+    window_frontier_ = boundary;
+    ++window_index_;
+  }
+  window_integrate(window_frontier_, end);
+  window_frontier_ = end;
+  // The trailing partial window is emitted only if it has any content —
+  // a run that ends exactly on a boundary produces no empty extra window.
+  const SimTime start{window_index_ * w.usec()};
+  const bool has_counts =
+      window_acc_.jobs_submitted > 0 || window_acc_.jobs_started > 0 ||
+      window_acc_.jobs_finished > 0 || window_acc_.jobs_rejected > 0;
+  if (end > start || has_counts) {
+    window_acc_.start = start;
+    window_acc_.end = end;
+    metrics_.windows.push_back(window_acc_);
+    window_acc_ = MetricsWindow{};
+  }
+}
+
 void SchedulingSimulation::request_schedule_pass() {
   if (pass_pending_) return;
   pass_pending_ = true;
@@ -177,15 +338,30 @@ void SchedulingSimulation::request_schedule_pass() {
 }
 
 void SchedulingSimulation::handle_submit(JobId id) {
-  JobRuntime& r = rt_[id];
+  DMSCHED_ASSERT(pending_submissions_ > 0, "submission accounting underflow");
+  --pending_submissions_;
+  // Refill the look-ahead window before anything else: the next pulled
+  // submit is >= this one (nondecreasing input), so every replacement event
+  // is queued before any later-time event can pop — which is what makes the
+  // bounded window order-equivalent to the full pre-push.
+  refill_submissions();
+  window_advance();
+  digest_fold('S');
+  digest_fold(id);
+  digest_fold(static_cast<std::uint64_t>(engine_.now().usec()));
+  ++window_acc_.jobs_submitted;
+
+  JobRuntime& r = rt_[id];  // after refill: pull_one may grow rt_
   DMSCHED_ASSERT(r.state == JobState::kPending, "double submission");
-  const Job& j = trace_.job(id);
+  const Job& j = job(id);
   if (!feasible_on_empty(config_, j, options_.placement)) {
     // The job cannot run on this machine shape at all (e.g. footprint above
     // local memory and no pool big enough). Table III counts these.
     r.state = JobState::kRejected;
     r.end = engine_.now();
     --live_jobs_;
+    ++window_acc_.jobs_rejected;
+    if (source_ != nullptr) live_jobs_rec_.erase(id);  // after last use of j
     return;
   }
   r.state = JobState::kQueued;
@@ -195,11 +371,17 @@ void SchedulingSimulation::handle_submit(JobId id) {
 }
 
 void SchedulingSimulation::start_job(JobId id, const Allocation& alloc) {
+  window_advance();
+  digest_fold('R');
+  digest_fold(id);
+  digest_fold(static_cast<std::uint64_t>(engine_.now().usec()));
+  ++window_acc_.jobs_started;
+
   JobRuntime& r = rt_[id];
   DMSCHED_ASSERT(r.state == JobState::kQueued,
                  "start_job: job is not waiting");
   DMSCHED_ASSERT(alloc.job == id, "start_job: allocation/job id mismatch");
-  const Job& j = trace_.job(id);
+  const Job& j = job(id);
   DMSCHED_ASSERT(std::cmp_equal(alloc.nodes.size(), j.nodes),
                  "start_job: allocation node count != request");
   DMSCHED_ASSERT(alloc.local_per_node + alloc.far_per_node == j.mem_per_node,
@@ -230,6 +412,12 @@ void SchedulingSimulation::start_job(JobId id, const Allocation& alloc) {
 }
 
 void SchedulingSimulation::handle_complete(JobId id) {
+  window_advance();
+  digest_fold('C');
+  digest_fold(id);
+  digest_fold(static_cast<std::uint64_t>(engine_.now().usec()));
+  ++window_acc_.jobs_finished;
+
   JobRuntime& r = rt_[id];
   DMSCHED_ASSERT(r.state == JobState::kRunning, "completion of a non-running job");
   cluster_.release(id);
@@ -239,6 +427,7 @@ void SchedulingSimulation::handle_complete(JobId id) {
   r.state = JobState::kDone;
   --live_jobs_;
   last_end_ = max(last_end_, engine_.now());
+  if (source_ != nullptr) live_jobs_rec_.erase(id);
   record_usage_change();
   request_schedule_pass();
 }
@@ -246,24 +435,27 @@ void SchedulingSimulation::handle_complete(JobId id) {
 RunMetrics SchedulingSimulation::run() {
   DMSCHED_ASSERT(!run_called_, "run() is single-shot");
   run_called_ = true;
-  live_jobs_ = trace_.size();
 
-  for (const Job& j : trace_.jobs()) {
-    engine_.schedule_at(j.submit, sim::EventClass::kSubmission,
-                        [this, id = j.id](SimTime) { handle_submit(id); });
-  }
+  // Prime the look-ahead window. An unbounded window (lookahead 0) pulls the
+  // whole input here — the historical full pre-push; a bounded one schedules
+  // only the first W submissions and handle_submit keeps it topped up.
+  refill_submissions();
   record_usage_change();
-  if (options_.sample_interval > SimTime{0} && !trace_.empty()) {
-    engine_.schedule_at(trace_.jobs().front().submit,
-                        sim::EventClass::kTimer,
+  if (options_.sample_interval > SimTime{0} && pulled_any_) {
+    engine_.schedule_at(first_submit_, sim::EventClass::kTimer,
                         [this](SimTime) { sample_series(); });
   }
 
   engine_.run();
+  DMSCHED_ASSERT(source_dry_ && pending_submissions_ == 0,
+                 "simulation drained with submissions outstanding");
   DMSCHED_ASSERT(live_jobs_ == 0, "simulation drained with live jobs");
   DMSCHED_ASSERT(queue_.empty() && running_.empty(),
                  "simulation drained with queued/running jobs");
+  DMSCHED_ASSERT(source_ == nullptr || live_jobs_rec_.empty(),
+                 "streaming run leaked live job records");
   cluster_.audit();
+  flush_final_window();
 
   // Assemble metrics.
   metrics_.makespan = last_end_;
@@ -288,26 +480,18 @@ RunMetrics SchedulingSimulation::run() {
       metrics_.global_pool_peak = global_pool_tw_.peak() / global_capacity;
     }
   }
-  metrics_.jobs.reserve(trace_.size());
-  for (const Job& j : trace_.jobs()) {
-    const JobRuntime& r = rt_[j.id];
-    JobOutcome o;
-    o.id = j.id;
+  // Static outcome fields were recorded at pull time (see pull_one); fill
+  // in the dynamic fields now that every job is terminal.
+  for (JobOutcome& o : metrics_.jobs) {
+    const JobRuntime& r = rt_[o.id];
     o.fate = r.state == JobState::kRejected
                  ? JobFate::kRejected
                  : (r.killed ? JobFate::kKilled : JobFate::kCompleted);
-    o.submit = j.submit;
     o.start = r.start;
     o.end = r.end;
     o.dilation = r.dilation;
     o.far_rack = r.far_rack;
     o.far_global = r.far_global;
-    o.nodes = j.nodes;
-    o.mem_per_node = j.mem_per_node;
-    o.runtime = j.runtime;
-    o.sensitivity = j.sensitivity;
-    o.user = j.user;
-    metrics_.jobs.push_back(o);
   }
   metrics_.finalize();
   return std::move(metrics_);

@@ -2,7 +2,9 @@
 // deterministic discrete-event run and produces RunMetrics.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -16,6 +18,7 @@
 #include "sched/scheduler.hpp"
 #include "sim/engine.hpp"
 #include "workload/trace.hpp"
+#include "workload/trace_source.hpp"
 
 namespace dmsched {
 
@@ -32,12 +35,26 @@ struct EngineOptions {
   SimTime sample_interval{};
   /// Run a full cluster audit after every completion (tests only; O(nodes)).
   bool audit_cluster = false;
+  /// How many un-fired submission events to keep scheduled ahead of the
+  /// clock (0 = unbounded: the whole trace is pre-pushed, the historical
+  /// behaviour). Any positive window produces byte-identical RunMetrics —
+  /// the event order proof is in src/README.md — while shrinking the event
+  /// queue's live id window from O(trace) to O(lookahead + running).
+  std::size_t submit_lookahead = 0;
+  /// Emit windowed metrics checkpoints at this interval (0 = disabled).
+  /// Passive: enabling it injects no events and perturbs nothing.
+  SimTime checkpoint_interval{};
 };
 
 /// One simulation run. Create, call run(), read the metrics.
 ///
-/// The trace is held by reference (traces are shared across many runs in
-/// sweeps) and must outlive the simulation — do not pass a temporary.
+/// Jobs come from either an in-memory Trace (held by reference — traces are
+/// shared across many runs in sweeps and must outlive the simulation) or a
+/// pull-based TraceSource (also by reference, single-use). Both paths feed
+/// the identical event machinery: with the same jobs and options the two
+/// produce byte-identical RunMetrics. Source mode additionally keeps only
+/// live job records in memory, so combined with a bounded
+/// `submit_lookahead` the per-event state is O(live jobs), not O(trace).
 ///
 /// Lifecycle semantics (DESIGN.md §4):
 ///  - submissions enter the queue unless the job can never fit the machine
@@ -48,6 +65,13 @@ struct EngineOptions {
 class SchedulingSimulation final : public SchedContext {
  public:
   SchedulingSimulation(ClusterConfig config, const Trace& trace,
+                       std::unique_ptr<Scheduler> scheduler,
+                       EngineOptions options);
+
+  /// Streaming variant: jobs are pulled from `source` on demand. The source
+  /// must outlive the simulation. Job ids are assigned in pull order
+  /// (0, 1, 2, ...) regardless of the ids the source reports.
+  SchedulingSimulation(ClusterConfig config, TraceSource& source,
                        std::unique_ptr<Scheduler> scheduler,
                        EngineOptions options);
 
@@ -73,6 +97,23 @@ class SchedulingSimulation final : public SchedContext {
   /// Counted resource view of an allocation (exposed for tests).
   [[nodiscard]] static TakePlan take_from_allocation(const Allocation& alloc,
                                                      const ClusterConfig& cfg);
+
+  // --- instrumentation (valid after run()) ---------------------------------
+  /// Total events the simulation processed.
+  [[nodiscard]] std::size_t events_processed() const {
+    return engine_.events_processed();
+  }
+  /// Peak live event-id window of the underlying queue — the memory figure
+  /// bounded submission look-ahead shrinks (see sim/event_queue.hpp).
+  [[nodiscard]] std::size_t peak_event_id_window() const {
+    return engine_.peak_id_window();
+  }
+  /// Order-sensitive digest over semantic transitions (submit/start/finish
+  /// with job id and sim time). Two runs that drain events in the same
+  /// semantic order agree on this even when raw event ids differ (eager
+  /// pre-push vs lazy pull issue different id sequences); the differential
+  /// harness compares it across modes.
+  [[nodiscard]] std::uint64_t event_digest() const { return digest_; }
 
  private:
   enum class JobState : std::uint8_t {
@@ -124,14 +165,43 @@ class SchedulingSimulation final : public SchedContext {
         const std::vector<JobRuntime>& rt) const;
   };
 
+  /// Delegated ctor: exactly one of trace/source is non-null.
+  SchedulingSimulation(ClusterConfig config, const Trace* trace,
+                       TraceSource* source,
+                       std::unique_ptr<Scheduler> scheduler,
+                       EngineOptions options);
+
   void handle_submit(JobId id);
   void handle_complete(JobId id);
   void request_schedule_pass();
   void record_usage_change();
   void sample_series();
 
+  /// Pull the next job from the trace/source, validate it, assign the next
+  /// sequential id, and schedule its submission event. False when the input
+  /// is exhausted.
+  bool pull_one();
+  /// Top up pending submission events to the look-ahead window (all of them
+  /// when the window is unbounded).
+  void refill_submissions();
+
+  /// Fold a semantic transition into the event digest (FNV-1a style).
+  void digest_fold(std::uint64_t v) {
+    digest_ = (digest_ ^ v) * 1099511628211ULL;
+  }
+
+  // Windowed checkpoints (all no-ops when checkpoint_interval is 0):
+  /// Integrate current system state over [from, to) into the open window.
+  void window_integrate(SimTime from, SimTime to);
+  /// Emit every window whose boundary is <= now, then integrate up to now.
+  /// Must run before any state mutation at the current timestamp.
+  void window_advance();
+  /// After the run: emit remaining complete windows and the final partial.
+  void flush_final_window();
+
   ClusterConfig config_;
-  const Trace& trace_;
+  const Trace* trace_ = nullptr;     ///< eager mode (exactly one of these
+  TraceSource* source_ = nullptr;    ///< streaming mode    two is set)
   std::unique_ptr<Scheduler> scheduler_;
   EngineOptions options_;
 
@@ -150,6 +220,25 @@ class SchedulingSimulation final : public SchedContext {
   std::size_t live_jobs_ = 0;   // not yet terminal
   bool pass_pending_ = false;
   bool run_called_ = false;
+
+  // --- lazy submission state ----------------------------------------------
+  std::size_t next_pull_ = 0;       ///< trace mode: next trace index
+  JobId next_pull_id_ = 0;          ///< ids are assigned in pull order
+  SimTime last_pull_submit_{};      ///< monotonicity check across pulls
+  bool pulled_any_ = false;
+  bool source_dry_ = false;         ///< input exhausted
+  std::size_t pending_submissions_ = 0;  ///< scheduled but un-fired
+  SimTime first_submit_{};          ///< first pulled job's submit time
+  /// Source mode only: records of jobs not yet terminal, erased on
+  /// completion/rejection so memory is O(live jobs). Lookup-only (never
+  /// iterated), so the unordered container cannot perturb determinism.
+  std::unordered_map<JobId, Job> live_jobs_rec_;
+  std::uint64_t digest_ = 1469598103934665603ULL;  ///< FNV-1a offset basis
+
+  // --- windowed checkpoints -------------------------------------------------
+  SimTime window_frontier_{};       ///< state integrated up to here
+  std::int64_t window_index_ = 0;   ///< index of the open window
+  MetricsWindow window_acc_;        ///< the open window's accumulator
 
   RunMetrics metrics_;
   TimeWeightedMean busy_nodes_tw_;

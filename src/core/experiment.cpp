@@ -1,5 +1,7 @@
 #include "core/experiment.hpp"
 
+#include "common/assert.hpp"
+
 namespace dmsched {
 
 Trace make_workload(const ExperimentConfig& config) {
@@ -15,6 +17,15 @@ RunMetrics run_experiment(const ExperimentConfig& config) {
 
 RunMetrics run_experiment(const ExperimentConfig& config, const Trace& trace) {
   SchedulingSimulation sim(config.cluster, trace,
+                           make_scheduler(config.scheduler, config.mem_options),
+                           config.engine);
+  RunMetrics metrics = sim.run();
+  if (!config.label.empty()) metrics.label = config.label;
+  return metrics;
+}
+
+RunMetrics run_experiment(const ExperimentConfig& config, TraceSource& source) {
+  SchedulingSimulation sim(config.cluster, source,
                            make_scheduler(config.scheduler, config.mem_options),
                            config.engine);
   RunMetrics metrics = sim.run();
@@ -39,6 +50,27 @@ ExperimentConfig scenario_experiment(const Scenario& scenario,
 
 RunMetrics run_scenario(const Scenario& scenario, SchedulerKind kind) {
   return run_experiment(scenario_experiment(scenario, kind), scenario.trace);
+}
+
+ExperimentConfig scenario_experiment(const ScenarioStream& stream,
+                                     SchedulerKind kind) {
+  ExperimentConfig c;
+  c.label = stream.info.name + "/" + to_string(kind);
+  c.cluster = stream.cluster;
+  c.scheduler = kind;
+  c.jobs = stream.source != nullptr
+               ? stream.source->size_hint().value_or(0)
+               : 0;
+  c.workload_reference_mem = stream.workload_reference_mem;
+  c.engine.slowdown =
+      c.engine.slowdown.with_remote_penalty(stream.remote_penalty);
+  return c;
+}
+
+RunMetrics run_scenario(ScenarioStream& stream, SchedulerKind kind) {
+  DMSCHED_ASSERT(stream.source != nullptr,
+                 "run_scenario: stream has no source (already consumed?)");
+  return run_experiment(scenario_experiment(stream, kind), *stream.source);
 }
 
 }  // namespace dmsched

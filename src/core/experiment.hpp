@@ -42,6 +42,13 @@ struct ExperimentConfig {
 [[nodiscard]] RunMetrics run_experiment(const ExperimentConfig& config,
                                         const Trace& trace);
 
+/// Run one experiment drawing jobs from a pull-based source (streaming
+/// replays). Sources are single-use: one run consumes `source`. With the
+/// same jobs and options this returns byte-identical metrics to the Trace
+/// overload.
+[[nodiscard]] RunMetrics run_experiment(const ExperimentConfig& config,
+                                        TraceSource& source);
+
 /// An experiment for `kind` on a library scenario's machine and workload
 /// (label "scenario/scheduler"). Pair the result with the scenario's trace:
 /// `run_experiment(cfg, scenario.trace)` or `run_sweep_on_trace` — the
@@ -52,6 +59,14 @@ struct ExperimentConfig {
 
 /// Convenience: run one scheduler on one scenario.
 [[nodiscard]] RunMetrics run_scenario(const Scenario& scenario,
+                                      SchedulerKind kind);
+
+/// Streaming counterparts: the experiment config for a scenario stream
+/// (`jobs` falls back to the source's size hint) and a one-shot run that
+/// consumes the stream's source.
+[[nodiscard]] ExperimentConfig scenario_experiment(
+    const ScenarioStream& stream, SchedulerKind kind);
+[[nodiscard]] RunMetrics run_scenario(ScenarioStream& stream,
                                       SchedulerKind kind);
 
 }  // namespace dmsched

@@ -1,6 +1,7 @@
 // Run metrics: everything the evaluation section reports.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,39 @@ struct JobOutcome {
   [[nodiscard]] bool used_far_memory() const { return !far_total().is_zero(); }
 };
 
+/// One checkpointed metrics window: system state integrated over
+/// [start, end). Unlike TimeSample (an instantaneous snapshot taken by a
+/// timer event), windows are accumulated passively at state transitions —
+/// enabling them injects no events, so runs with and without windowing are
+/// byte-identical everywhere else. Windows are aligned to multiples of the
+/// checkpoint interval in sim time; the last window may be partial.
+struct MetricsWindow {
+  SimTime start{};
+  SimTime end{};
+  /// Time integrals over the window (value × seconds):
+  double busy_node_seconds = 0.0;
+  double queued_job_seconds = 0.0;
+  double running_job_seconds = 0.0;
+  double rack_pool_gib_seconds = 0.0;
+  double global_pool_gib_seconds = 0.0;
+  /// Transition counts attributed to the window containing the event time:
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_started = 0;
+  std::size_t jobs_finished = 0;
+  std::size_t jobs_rejected = 0;
+
+  [[nodiscard]] double width_seconds() const { return (end - start).seconds(); }
+  /// Mean busy nodes over the window (0 for a zero-width window).
+  [[nodiscard]] double mean_busy_nodes() const {
+    const double w = width_seconds();
+    return w > 0.0 ? busy_node_seconds / w : 0.0;
+  }
+  [[nodiscard]] double mean_queued_jobs() const {
+    const double w = width_seconds();
+    return w > 0.0 ? queued_job_seconds / w : 0.0;
+  }
+};
+
 /// One sample of the system time series (Fig. 7 style plots).
 struct TimeSample {
   SimTime time{};
@@ -64,6 +98,10 @@ struct RunMetrics {
   std::string label;
   std::vector<JobOutcome> jobs;
   std::vector<TimeSample> series;  ///< empty unless sampling was enabled
+  /// Checkpointed windows; empty unless EngineOptions::checkpoint_interval
+  /// was set. A streaming consumer can drop per-job outcomes and keep only
+  /// these for month-scale replays.
+  std::vector<MetricsWindow> windows;
 
   SimTime makespan{};  ///< first submission to last completion
   /// Node utilization: busy node-time / (total nodes × makespan).

@@ -17,11 +17,16 @@ const char* to_string(QueueOrder order) {
   return "?";
 }
 
-void order_queue(std::vector<JobId>& ids, const std::vector<Job>& jobs,
-                 QueueOrder order, SimTime now) {
+namespace {
+
+/// The one ordering implementation; `get` resolves JobId -> const Job&.
+/// Both public overloads funnel here so they cannot drift apart.
+template <typename Get>
+void order_queue_impl(std::vector<JobId>& ids, const Get& get,
+                      QueueOrder order, SimTime now) {
   auto tie = [&](JobId a, JobId b) {
-    const Job& ja = jobs[a];
-    const Job& jb = jobs[b];
+    const Job& ja = get(a);
+    const Job& jb = get(b);
     if (ja.submit != jb.submit) return ja.submit < jb.submit;
     return a < b;
   };
@@ -31,23 +36,23 @@ void order_queue(std::vector<JobId>& ids, const std::vector<Job>& jobs,
       break;
     case QueueOrder::kShortestFirst:
       std::sort(ids.begin(), ids.end(), [&](JobId a, JobId b) {
-        if (jobs[a].walltime != jobs[b].walltime) {
-          return jobs[a].walltime < jobs[b].walltime;
+        if (get(a).walltime != get(b).walltime) {
+          return get(a).walltime < get(b).walltime;
         }
         return tie(a, b);
       });
       break;
     case QueueOrder::kLargestFirst:
       std::sort(ids.begin(), ids.end(), [&](JobId a, JobId b) {
-        if (jobs[a].nodes != jobs[b].nodes) {
-          return jobs[a].nodes > jobs[b].nodes;
+        if (get(a).nodes != get(b).nodes) {
+          return get(a).nodes > get(b).nodes;
         }
         return tie(a, b);
       });
       break;
     case QueueOrder::kWfp: {
       auto score = [&](JobId id) {
-        const Job& j = jobs[id];
+        const Job& j = get(id);
         const double wait = (now - j.submit).seconds();
         const double wall = std::max(j.walltime.seconds(), 1.0);
         const double r = wait / wall;
@@ -62,6 +67,20 @@ void order_queue(std::vector<JobId>& ids, const std::vector<Job>& jobs,
       break;
     }
   }
+}
+
+}  // namespace
+
+void order_queue(std::vector<JobId>& ids, const std::vector<Job>& jobs,
+                 QueueOrder order, SimTime now) {
+  order_queue_impl(
+      ids, [&](JobId id) -> const Job& { return jobs[id]; }, order, now);
+}
+
+void order_queue(std::vector<JobId>& ids, const JobLookup& lookup,
+                 QueueOrder order, SimTime now) {
+  DMSCHED_ASSERT(lookup != nullptr, "order_queue: null job lookup");
+  order_queue_impl(ids, lookup, order, now);
 }
 
 }  // namespace dmsched

@@ -1,6 +1,7 @@
 // Queue ordering policies: who is at the head of the line.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "workload/job.hpp"
@@ -23,5 +24,15 @@ enum class QueueOrder {
 /// total and deterministic.
 void order_queue(std::vector<JobId>& ids,
                  const std::vector<Job>& jobs, QueueOrder order, SimTime now);
+
+/// Resolves a job id to its record for the lookup overload below.
+using JobLookup = std::function<const Job&(JobId)>;
+
+/// The same ordering with jobs resolved through a lookup: streaming runs
+/// hold only their live jobs, not a dense id-indexed vector. Identical
+/// results to the vector overload for the same jobs (pinned by
+/// tests/sched/queue_policy_test.cpp).
+void order_queue(std::vector<JobId>& ids, const JobLookup& lookup,
+                 QueueOrder order, SimTime now);
 
 }  // namespace dmsched

@@ -44,6 +44,12 @@ class Engine {
   /// Live events still pending.
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
+  /// Pending-set id-window instrumentation (see EventQueue).
+  [[nodiscard]] std::size_t id_window() const { return queue_.id_window(); }
+  [[nodiscard]] std::size_t peak_id_window() const {
+    return queue_.peak_id_window();
+  }
+
  private:
   EventQueue queue_;
   SimTime now_{};

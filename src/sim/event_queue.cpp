@@ -85,6 +85,7 @@ EventId EventQueue::push(SimTime time, EventClass cls, EventFn fn) {
   DMSCHED_ASSERT(heap_.size() < kNotPending, "EventQueue: heap full");
   const EventId id = next_id_++;
   pos_.push_back(kNotPending);  // slot id - base_; set by sift_up below
+  peak_id_window_ = std::max(peak_id_window_, pos_.size());
   heap_.push_back({time, cls, next_seq_++, id, std::move(fn)});
   sift_up(heap_.size() - 1);
   return id;

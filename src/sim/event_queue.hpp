@@ -48,6 +48,16 @@ class EventQueue {
   /// Number of live (non-cancelled) events.
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
+  /// Width of the live id window [base_, base_ + id_window()): the dense
+  /// index's memory tracks this span between the oldest still-tracked and
+  /// the newest issued id — not the total events ever pushed.
+  [[nodiscard]] std::size_t id_window() const { return pos_.size(); }
+
+  /// Largest id window ever observed. This is the O(memory) figure bounded
+  /// submission look-ahead shrinks from O(trace) to O(window); the
+  /// streaming-ingestion bench reports and enforces it.
+  [[nodiscard]] std::size_t peak_id_window() const { return peak_id_window_; }
+
  private:
   /// Heap arity. 4 keeps the tree shallow (fewer cache lines per sift)
   /// while the min-of-children scan stays one cache line of entries.
@@ -87,6 +97,7 @@ class EventQueue {
   std::vector<std::uint32_t> pos_;
   EventId base_ = 1;
   std::size_t dead_prefix_ = 0;
+  std::size_t peak_id_window_ = 0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
 };

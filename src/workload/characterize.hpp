@@ -5,6 +5,7 @@
 
 #include "common/histogram.hpp"
 #include "workload/trace.hpp"
+#include "workload/trace_source.hpp"
 
 namespace dmsched {
 
@@ -40,6 +41,15 @@ struct TraceStats {
 
 /// Compute Table-I statistics for a trace.
 [[nodiscard]] TraceStats characterize(const Trace& trace,
+                                      Bytes reference_node_mem,
+                                      std::int64_t machine_nodes);
+
+/// The same statistics from a pull-based source drain, without
+/// materializing a Trace. Identical to the eager overload on the same jobs
+/// (pinned by tests/workload/trace_source_test.cpp). Percentiles are exact,
+/// so this holds O(jobs) *doubles* — sample arrays, not whole Jobs; it is
+/// an analysis path, not a bounded-memory one.
+[[nodiscard]] TraceStats characterize(TraceSource& source,
                                       Bytes reference_node_mem,
                                       std::int64_t machine_nodes);
 

@@ -109,4 +109,15 @@ Trace make_model_trace(WorkloadModel m, std::size_t jobs, std::uint64_t seed,
   return generate_trace_with_load(spec, seed, machine_nodes, target_load);
 }
 
+std::unique_ptr<TraceSource> make_model_source(WorkloadModel m,
+                                               std::size_t jobs,
+                                               std::uint64_t seed,
+                                               std::int32_t machine_nodes,
+                                               Bytes reference_node_mem,
+                                               double target_load) {
+  SyntheticSpec spec = model_spec(m, machine_nodes, reference_node_mem);
+  spec.job_count = jobs;
+  return make_synthetic_source(spec, seed, machine_nodes, target_load);
+}
+
 }  // namespace dmsched

@@ -47,4 +47,11 @@ enum class WorkloadModel {
                                      Bytes reference_node_mem,
                                      double target_load);
 
+/// Streaming counterpart of make_model_trace: the identical jobs as a
+/// pull-based source (see make_synthetic_source). Draining it equals the
+/// eager trace job-for-job.
+[[nodiscard]] std::unique_ptr<TraceSource> make_model_source(
+    WorkloadModel m, std::size_t jobs, std::uint64_t seed,
+    std::int32_t machine_nodes, Bytes reference_node_mem, double target_load);
+
 }  // namespace dmsched

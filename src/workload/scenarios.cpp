@@ -106,14 +106,32 @@ ClusterConfig make_cluster(std::string name, std::int32_t nodes,
   return c;
 }
 
+/// The machine + workload-model recipe of one synthetic scenario. The eager
+/// and streaming builders below both consume it, so a scenario's published
+/// machine and model are defined in exactly one place.
+struct ModelRecipe {
+  ClusterConfig cluster;
+  WorkloadModel model;
+  Bytes reference_mem;
+};
+
 /// One synthetic-model scenario: the shared shape of most entries.
-Scenario model_scenario(ClusterConfig cluster, WorkloadModel model,
-                        Bytes reference_mem, const ScenarioParams& p) {
+Scenario model_scenario(ModelRecipe r, const ScenarioParams& p) {
   Scenario s;
-  s.cluster = scale_cluster(std::move(cluster), p);
-  s.workload_reference_mem = reference_mem;
-  s.trace = make_model_trace(model, p.jobs, p.seed, s.cluster.total_nodes,
-                             reference_mem, p.load);
+  s.cluster = scale_cluster(std::move(r.cluster), p);
+  s.workload_reference_mem = r.reference_mem;
+  s.trace = make_model_trace(r.model, p.jobs, p.seed, s.cluster.total_nodes,
+                             r.reference_mem, p.load);
+  return s;
+}
+
+/// Streaming shape of the same: the workload as a pull-based source.
+ScenarioStream model_scenario_stream(ModelRecipe r, const ScenarioParams& p) {
+  ScenarioStream s;
+  s.cluster = scale_cluster(std::move(r.cluster), p);
+  s.workload_reference_mem = r.reference_mem;
+  s.source = make_model_source(r.model, p.jobs, p.seed, s.cluster.total_nodes,
+                               r.reference_mem, p.load);
   return s;
 }
 
@@ -124,10 +142,15 @@ Scenario model_scenario(ClusterConfig cluster, WorkloadModel model,
 /// The PR-1 golden scenario, unchanged: the machine/workload whose RunMetrics
 /// are pinned in tests/golden/. Oversubscribed mixed workload on a tiny
 /// pooled machine; exercises the pools but barely separates the policies.
+ModelRecipe golden_baseline_recipe() {
+  return {make_cluster("tiny", 16, 4, 64, 32, 128), WorkloadModel::kMixed,
+          gib(std::int64_t{96})};
+}
 Scenario build_golden_baseline(const ScenarioParams& p) {
-  ClusterConfig c = make_cluster("tiny", 16, 4, 64, 32, 128);
-  return model_scenario(std::move(c), WorkloadModel::kMixed,
-                        gib(std::int64_t{96}), p);
+  return model_scenario(golden_baseline_recipe(), p);
+}
+ScenarioStream stream_golden_baseline(const ScenarioParams& p) {
+  return model_scenario_stream(golden_baseline_recipe(), p);
 }
 
 /// Local memory scarce relative to footprints AND the pools under pressure —
@@ -137,44 +160,71 @@ Scenario build_golden_baseline(const ScenarioParams& p) {
 /// rack pools: most jobs overflow, backfills compete with the queue head for
 /// pool bytes, and EASY's node-only shadow makes visibly different (worse)
 /// decisions than the 2-D reservation.
+ModelRecipe memory_stressed_recipe() {
+  return {make_cluster("mem-stress", 32, 8, 40, 96, 128),
+          WorkloadModel::kCapacity, gib(std::int64_t{96})};
+}
 Scenario build_memory_stressed(const ScenarioParams& p) {
-  ClusterConfig c = make_cluster("mem-stress", 32, 8, 40, 96, 128);
-  return model_scenario(std::move(c), WorkloadModel::kCapacity,
-                        gib(std::int64_t{96}), p);
+  return model_scenario(memory_stressed_recipe(), p);
+}
+ScenarioStream stream_memory_stressed(const ScenarioParams& p) {
+  return model_scenario_stream(memory_stressed_recipe(), p);
 }
 
 /// Ample local memory but deliberately small rack pools and no global tier:
 /// the disaggregated pool itself is the bottleneck, so pool routing and
 /// pool-aware reservations dominate. Backs the pool-size sweep (fig. 4).
+ModelRecipe pool_contended_recipe() {
+  return {make_cluster("pool-contended", 64, 16, 128, 192, 0),
+          WorkloadModel::kCapacity, gib(std::int64_t{192})};
+}
 Scenario build_pool_contended(const ScenarioParams& p) {
-  ClusterConfig c = make_cluster("pool-contended", 64, 16, 128, 192, 0);
-  return model_scenario(std::move(c), WorkloadModel::kCapacity,
-                        gib(std::int64_t{192}), p);
+  return model_scenario(pool_contended_recipe(), p);
+}
+ScenarioStream stream_pool_contended(const ScenarioParams& p) {
+  return model_scenario_stream(pool_contended_recipe(), p);
 }
 
 /// Mixed workload with arrivals quantized into 2-hour waves: every job in a
 /// window submits at the window start, so the queue fills in bursts and
 /// drains between them. Stresses backfill depth and reservation churn the
 /// way diurnal submission spikes do.
-Scenario build_bursty_arrivals(const ScenarioParams& p) {
-  Scenario s =
-      model_scenario(make_cluster("bursty", 32, 8, 96, 96, 96),
-                     WorkloadModel::kMixed, gib(std::int64_t{96}), p);
+ModelRecipe bursty_arrivals_recipe() {
+  return {make_cluster("bursty", 32, 8, 96, 96, 96), WorkloadModel::kMixed,
+          gib(std::int64_t{96})};
+}
+/// Quantization is monotone in submit, so it preserves submission order:
+/// the eager map_trace re-sort is the identity and the streaming
+/// MappedTraceSource yields the identical job sequence.
+Job quantize_to_burst(Job j) {
   constexpr double kBurstSec = 2.0 * 3600.0;
-  s.trace = map_trace(s.trace, [](Job j) {
-    j.submit = seconds(std::floor(j.submit.seconds() / kBurstSec) * kBurstSec);
-    return j;
-  });
+  j.submit = seconds(std::floor(j.submit.seconds() / kBurstSec) * kBurstSec);
+  return j;
+}
+Scenario build_bursty_arrivals(const ScenarioParams& p) {
+  Scenario s = model_scenario(bursty_arrivals_recipe(), p);
+  s.trace = map_trace(s.trace, quantize_to_burst);
+  return s;
+}
+ScenarioStream stream_bursty_arrivals(const ScenarioParams& p) {
+  ScenarioStream s = model_scenario_stream(bursty_arrivals_recipe(), p);
+  s.source = std::make_unique<MappedTraceSource>(std::move(s.source),
+                                                 &quantize_to_burst);
   return s;
 }
 
 /// Capability-center workload: wide, long jobs whose aggregate footprints
 /// land on many racks at once. Exercises multi-rack placement and the
 /// global pool as overflow for jobs sized beyond 192 GiB nodes.
+ModelRecipe wide_jobs_recipe() {
+  return {make_cluster("wide-jobs", 128, 16, 192, 512, 1024),
+          WorkloadModel::kCapability, gib(std::int64_t{256})};
+}
 Scenario build_wide_jobs(const ScenarioParams& p) {
-  ClusterConfig c = make_cluster("wide-jobs", 128, 16, 192, 512, 1024);
-  return model_scenario(std::move(c), WorkloadModel::kCapability,
-                        gib(std::int64_t{256}), p);
+  return model_scenario(wide_jobs_recipe(), p);
+}
+ScenarioStream stream_wide_jobs(const ScenarioParams& p) {
+  return model_scenario_stream(wide_jobs_recipe(), p);
 }
 
 /// Rack-scale provisioning with no global safety net: every far byte is one
@@ -182,10 +232,15 @@ Scenario build_wide_jobs(const ScenarioParams& p) {
 /// a distant tier. The placement axis that matters here is node selection
 /// (spreading vs packing vs pool-chasing); pool routing is moot. Backs the
 /// rack-scale-vs-system-wide provisioning comparison.
+ModelRecipe rack_local_recipe() {
+  return {make_cluster("rack-local", 48, 8, 64, 128, 0),
+          WorkloadModel::kCapacity, gib(std::int64_t{128})};
+}
 Scenario build_rack_local(const ScenarioParams& p) {
-  ClusterConfig c = make_cluster("rack-local", 48, 8, 64, 128, 0);
-  return model_scenario(std::move(c), WorkloadModel::kCapacity,
-                        gib(std::int64_t{128}), p);
+  return model_scenario(rack_local_recipe(), p);
+}
+ScenarioStream stream_rack_local(const ScenarioParams& p) {
+  return model_scenario_stream(rack_local_recipe(), p);
 }
 
 /// Both distance tiers present and under pressure: scarce local memory, a
@@ -194,10 +249,15 @@ Scenario build_rack_local(const ScenarioParams& p) {
 /// placement strategies genuinely diverge — local-first queues (and sheds
 /// the jobs no rack pool can ever fund) while global-fallback starts and
 /// dilates — pinned by tests/golden/topology_placement_test.cpp.
+ModelRecipe tiered_contended_recipe() {
+  return {make_cluster("tiered-contended", 64, 8, 48, 96, 192),
+          WorkloadModel::kCapacity, gib(std::int64_t{96})};
+}
 Scenario build_tiered_contended(const ScenarioParams& p) {
-  ClusterConfig c = make_cluster("tiered-contended", 64, 8, 48, 96, 192);
-  return model_scenario(std::move(c), WorkloadModel::kCapacity,
-                        gib(std::int64_t{96}), p);
+  return model_scenario(tiered_contended_recipe(), p);
+}
+ScenarioStream stream_tiered_contended(const ScenarioParams& p) {
+  return model_scenario_stream(tiered_contended_recipe(), p);
 }
 
 /// The bundled SWF fixture (tests/data/sample.swf), embedded so the scenario
@@ -243,18 +303,30 @@ constexpr const char* kSampleSwf = R"(; Sample SWF trace bundled with the DMSche
 30 6300 -1 4200 22 -1 524288 22 4800 524288 1 3 1 1 1 1 -1 -1
 )";
 
-Scenario swf_replay_scenario(const ScenarioParams& p,
-                             const char* cluster_name) {
-  Scenario s;
-  // 48 processors at 4 per node => 12 nodes; per-node footprints reach
-  // 16 GiB, above the 12 GiB of local memory, so the replay needs the pools.
-  s.cluster = scale_cluster(make_cluster(cluster_name, 12, 4, 12, 24, 32), p);
-  s.workload_reference_mem = s.cluster.local_mem_per_node;
+/// The replay machine: 48 processors at 4 per node => 12 nodes; per-node
+/// footprints reach 16 GiB, above the 12 GiB of local memory, so the replay
+/// needs the pools. Shared by the eager and streaming builders.
+ClusterConfig swf_replay_cluster(const char* name) {
+  return make_cluster(name, 12, 4, 12, 24, 32);
+}
 
+/// Parse the embedded day once (30 jobs; O(1) w.r.t. replay length).
+SwfResult read_sample_day(const char* trace_name) {
   SwfOptions options;
   options.procs_per_node = 4;
   std::istringstream in(kSampleSwf);
-  const SwfResult base = read_swf(in, options, "sample.swf");
+  return read_swf(in, options, trace_name);
+}
+
+constexpr std::int64_t kSwfReplayPeriodSec = 7200;
+
+Scenario swf_replay_scenario(const ScenarioParams& p,
+                             const char* cluster_name) {
+  Scenario s;
+  s.cluster = scale_cluster(swf_replay_cluster(cluster_name), p);
+  s.workload_reference_mem = s.cluster.local_mem_per_node;
+
+  const SwfResult base = read_sample_day("sample.swf");
 
   // Replicate the 30-job day via map_trace: copy k is shifted by k periods
   // so replicas tile without overlapping bursts. (Div/mod ceil instead of
@@ -263,11 +335,11 @@ Scenario swf_replay_scenario(const ScenarioParams& p,
   const std::size_t base_jobs = base.trace.size();
   const std::size_t replicas =
       p.jobs / base_jobs + (p.jobs % base_jobs != 0 ? 1 : 0);
-  constexpr std::int64_t kPeriodSec = 7200;
   std::vector<Job> jobs;
   jobs.reserve(replicas * base.trace.size());
   for (std::size_t k = 0; k < replicas; ++k) {
-    const SimTime shift = seconds(kPeriodSec * static_cast<std::int64_t>(k));
+    const SimTime shift =
+        seconds(kSwfReplayPeriodSec * static_cast<std::int64_t>(k));
     const Trace copy = map_trace(base.trace, [shift](Job j) {
       j.submit = j.submit + shift;
       return j;
@@ -300,12 +372,92 @@ Scenario build_large_replay(const ScenarioParams& p) {
   return swf_replay_scenario(p, "large-replay");
 }
 
+/// The streaming counterpart of swf_replay_scenario: tiles the embedded day
+/// on the fly instead of materializing replicas × 30 jobs. Job i of the
+/// replay is day job i%N shifted by i/N periods — the day spans less than
+/// one period, so the tiling is already in submission order and matches the
+/// eager Trace::make + prefix construction job-for-job. The offered-load
+/// prepass walks the same p.jobs jobs with Trace::offered_load's summation
+/// order and arithmetic, so the arrival-scaling factor is bit-identical too.
+/// Workload memory is O(day), independent of p.jobs — this is what lets the
+/// million-job replay run without a million-Job vector.
+ScenarioStream swf_replay_stream(const ScenarioParams& p,
+                                 const char* cluster_name) {
+  ScenarioStream s;
+  s.cluster = scale_cluster(swf_replay_cluster(cluster_name), p);
+  s.workload_reference_mem = s.cluster.local_mem_per_node;
+
+  auto day = std::make_shared<const Trace>(read_sample_day("sample.swf").trace);
+  const std::size_t base_jobs = day->size();
+  auto job_at = [day, base_jobs](std::size_t i) {
+    Job j = day->jobs()[i % base_jobs];
+    j.submit = j.submit + seconds(kSwfReplayPeriodSec *
+                                  static_cast<std::int64_t>(i / base_jobs));
+    return j;
+  };
+
+  bool scale = false;
+  double factor = 1.0;
+  if (p.jobs >= 2 && p.load > 0.0) {
+    const double span_sec =
+        (job_at(p.jobs - 1).submit - job_at(0).submit).seconds();
+    if (span_sec > 0.0) {
+      double node_seconds = 0.0;
+      for (std::size_t i = 0; i < p.jobs; ++i) {
+        node_seconds += job_at(i).used_node_seconds();
+      }
+      const double current =
+          node_seconds /
+          (static_cast<double>(s.cluster.total_nodes) * span_sec);
+      if (current > 0.0) {
+        scale = true;
+        factor = current / p.load;
+      }
+    }
+  }
+  const SimTime epoch = p.jobs > 0 ? job_at(0).submit : SimTime{};
+  const std::size_t total = p.jobs;
+  auto next_i = std::make_shared<std::size_t>(0);
+  s.source = std::make_unique<GeneratorTraceSource>(
+      cluster_name,
+      [job_at, next_i, total, scale, factor, epoch]() -> std::optional<Job> {
+        if (*next_i >= total) return std::nullopt;
+        Job j = job_at((*next_i)++);
+        // Trace::scaled_arrivals' exact arithmetic.
+        if (scale) j.submit = epoch + (j.submit - epoch).scaled(factor);
+        return j;
+      },
+      total);
+  return s;
+}
+
+ScenarioStream stream_mixed_swf(const ScenarioParams& p) {
+  return swf_replay_stream(p, "mixed-swf");
+}
+
+ScenarioStream stream_large_replay(const ScenarioParams& p) {
+  return swf_replay_stream(p, "large-replay");
+}
+
+/// The tiled day at 10^6 jobs (~7.6 years of submissions): the streaming-
+/// ingestion scale target. Eager construction still works (the bench's
+/// differential arm uses it) but costs a million-Job trace; the stream runs
+/// the same replay at O(day) workload memory.
+Scenario build_million_replay(const ScenarioParams& p) {
+  return swf_replay_scenario(p, "million-replay");
+}
+
+ScenarioStream stream_million_replay(const ScenarioParams& p) {
+  return swf_replay_stream(p, "million-replay");
+}
+
 // --- the registry -----------------------------------------------------------
 
 struct ScenarioEntry {
   ScenarioInfo info;
   ScenarioDefaults defaults;
   Scenario (*build)(const ScenarioParams&);
+  ScenarioStream (*stream)(const ScenarioParams&);
 };
 
 const std::vector<ScenarioEntry>& registry() {
@@ -316,21 +468,21 @@ const std::vector<ScenarioEntry>& registry() {
         "table 3 (regression baseline)",
         "FCFS worst; EASY/mem-easy/adaptive nearly tied (little pressure)"},
        {400, 20240726, 1.1},
-       &build_golden_baseline},
+       &build_golden_baseline, &stream_golden_baseline},
       {{"memory-stressed",
         "capacity workload sized for 96 GiB nodes on 40 GiB nodes with "
         "modest pools: local memory scarce, pools under pressure",
         "fig. 6 / table 3",
         "mem-easy and adaptive beat EASY (different makespans); FCFS worst"},
        {500, 7, 1.05},
-       &build_memory_stressed},
+       &build_memory_stressed, &stream_memory_stressed},
       {{"pool-contended",
         "ample local memory but small rack pools and no global tier: the "
         "disaggregated pool is the bottleneck",
         "fig. 4",
         "pool-aware policies ahead; EASY starves pool-blocked queue heads"},
        {600, 11, 1.0},
-       &build_pool_contended},
+       &build_pool_contended, &stream_pool_contended},
       {{"bursty-arrivals",
         "mixed workload with arrivals quantized into 2-hour waves: queue "
         "fills in bursts and drains between them",
@@ -338,7 +490,7 @@ const std::vector<ScenarioEntry>& registry() {
         "backfilling policies (EASY family) far ahead of FCFS; memory-aware "
         "variants ahead on the burst peaks"},
        {500, 13, 0.9},
-       &build_bursty_arrivals},
+       &build_bursty_arrivals, &stream_bursty_arrivals},
       {{"wide-jobs",
         "capability workload: wide, long jobs spanning many racks, global "
         "pool as overflow",
@@ -346,7 +498,7 @@ const std::vector<ScenarioEntry>& registry() {
         "conservative close to EASY (few backfill holes); memory-awareness "
         "secondary"},
        {400, 17, 0.9},
-       &build_wide_jobs},
+       &build_wide_jobs, &stream_wide_jobs},
       {{"rack-local",
         "rack pools only, no global tier: every far byte is one hop away "
         "and rack exhaustion has no safety net (node-selection study)",
@@ -354,7 +506,7 @@ const std::vector<ScenarioEntry>& registry() {
         "pool-aware/balanced selection ahead of first-fit; routing is moot "
         "without a global tier"},
        {500, 23, 1.0},
-       &build_rack_local},
+       &build_rack_local, &stream_rack_local},
       {{"tiered-contended",
         "scarce local memory with a contended rack tier AND a global tier: "
         "the regime where placement strategies diverge",
@@ -362,14 +514,14 @@ const std::vector<ScenarioEntry>& registry() {
         "local-first trades queueing for locality (lower remote-access "
         "fraction, larger makespan); global-fallback the reverse"},
        {500, 29, 1.05},
-       &build_tiered_contended},
+       &build_tiered_contended, &stream_tiered_contended},
       {{"mixed-swf",
         "the bundled 30-job SWF fixture replicated onto a 12-node machine "
         "with 12 GiB local memory (footprints reach 16 GiB)",
         "table 1 (trace-driven validation)",
         "mem-easy at or ahead of EASY; exercises the SWF import path"},
        {240, 1, 1.2},
-       &build_mixed_swf},
+       &build_mixed_swf, &stream_mixed_swf},
       {{"large-replay",
         "the mixed-swf day replicated to 100k jobs (~9 months of "
         "submissions) on the same 12-node machine: the sim-throughput "
@@ -379,7 +531,19 @@ const std::vector<ScenarioEntry>& registry() {
         "jobs/sec, not to separate policies",
         /*infrastructure=*/true},
        {100000, 1, 0.8},
-       &build_large_replay},
+       &build_large_replay, &stream_large_replay},
+      {{"million-replay",
+        "the mixed-swf day tiled to 10^6 jobs (~7.6 years of submissions) "
+        "on the same 12-node machine: the streaming-ingestion scale target. "
+        "Use make_scenario_stream — the eager build materializes a "
+        "million-Job trace, the stream replays it at O(day) workload memory",
+        "sec. V scale claims (month-scale replay at bounded memory; "
+        "bench/sim_throughput)",
+        "same regime as mixed-swf; exists to prove streamed ingestion, not "
+        "to separate policies",
+        /*infrastructure=*/true},
+       {1000000, 1, 0.8},
+       &build_million_replay, &stream_million_replay},
   };
   return entries;
 }
@@ -421,6 +585,16 @@ Scenario make_scenario(const std::string& name, const ScenarioParams& params) {
   const ScenarioEntry& entry = find_entry(name);
   const ScenarioParams resolved = resolve(params, entry.defaults);
   Scenario s = entry.build(resolved);
+  s.info = entry.info;
+  s.remote_penalty = resolved.remote_penalty;
+  return s;
+}
+
+ScenarioStream make_scenario_stream(const std::string& name,
+                                    const ScenarioParams& params) {
+  const ScenarioEntry& entry = find_entry(name);
+  const ScenarioParams resolved = resolve(params, entry.defaults);
+  ScenarioStream s = entry.stream(resolved);
   s.info = entry.info;
   s.remote_penalty = resolved.remote_penalty;
   return s;

@@ -14,12 +14,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cluster/config.hpp"
 #include "topology/topology.hpp"
 #include "workload/trace.hpp"
+#include "workload/trace_source.hpp"
 
 namespace dmsched {
 
@@ -110,5 +112,26 @@ struct Scenario {
 /// Throws std::invalid_argument (listing the known names) for unknown names.
 [[nodiscard]] Scenario make_scenario(const std::string& name,
                                      const ScenarioParams& params = {});
+
+/// A scenario whose workload is a pull-based stream instead of a
+/// materialized Trace: the same machine and metadata, jobs delivered
+/// incrementally. For every registered scenario, draining `source` yields
+/// exactly the jobs of `make_scenario(name, params).trace` — same order,
+/// same ids — so streamed and eager runs are interchangeable (pinned by
+/// tests/workload/trace_source_test.cpp). The replicated-SWF and synthetic
+/// scenarios build genuinely incremental sources (O(1) workload memory at
+/// any job count); that is what makes the million-job replays feasible.
+struct ScenarioStream {
+  ScenarioInfo info;
+  ClusterConfig cluster;
+  Bytes workload_reference_mem{};
+  double remote_penalty = 1.0;
+  std::unique_ptr<TraceSource> source;
+};
+
+/// Streaming counterpart of make_scenario. Deterministic in (name, params);
+/// throws std::invalid_argument for unknown names.
+[[nodiscard]] ScenarioStream make_scenario_stream(
+    const std::string& name, const ScenarioParams& params = {});
 
 }  // namespace dmsched

@@ -25,6 +25,75 @@ constexpr std::size_t kFieldCount = 18;
 
 }  // namespace
 
+SwfParsedLine parse_swf_line(std::string_view line,
+                             const SwfOptions& options) {
+  DMSCHED_ASSERT(options.procs_per_node > 0, "SwfOptions: procs_per_node");
+  SwfParsedLine out;
+  const std::string_view stripped = trim(line);
+  if (stripped.empty() || stripped.front() == ';') {
+    out.kind = SwfLineKind::kBlank;
+    return out;
+  }
+
+  const auto fields = split_ws(stripped);
+  if (fields.size() < kFieldCount) {
+    out.kind = SwfLineKind::kMalformed;
+    return out;
+  }
+  std::int64_t raw[kFieldCount];
+  for (std::size_t i = 0; i < kFieldCount; ++i) {
+    double v{};  // archive traces occasionally use decimals (avg CPU time)
+    if (!parse_double(fields[i], v)) {
+      out.kind = SwfLineKind::kMalformed;
+      return out;
+    }
+    raw[i] = static_cast<std::int64_t>(std::llround(v));
+  }
+
+  if (options.completed_only && raw[kFieldStatus] != 1 &&
+      raw[kFieldStatus] != -1) {
+    out.kind = SwfLineKind::kFiltered;
+    return out;
+  }
+  const std::int64_t runtime_sec = raw[kFieldRuntime];
+  std::int64_t procs = raw[kFieldReqProcs] > 0 ? raw[kFieldReqProcs]
+                                               : raw[kFieldAllocProcs];
+  if (runtime_sec <= 0 || procs <= 0 || raw[kFieldSubmit] < 0) {
+    out.kind = SwfLineKind::kFiltered;
+    return out;
+  }
+
+  Job j;
+  j.submit = seconds(raw[kFieldSubmit]);
+  j.nodes = static_cast<std::int32_t>(
+      (procs + options.procs_per_node - 1) / options.procs_per_node);
+  j.runtime = seconds(runtime_sec);
+  if (raw[kFieldReqTime] > 0) {
+    j.walltime = seconds(raw[kFieldReqTime]);
+  } else {
+    j.walltime = seconds(static_cast<double>(runtime_sec) *
+                         options.walltime_fallback_factor);
+  }
+  // Archive traces contain overruns (runtime > request) when sites had lax
+  // enforcement; DMSched requires runtime <= walltime, so clamp upward.
+  j.walltime = max(j.walltime, j.runtime);
+
+  const std::int64_t mem_kb = raw[kFieldReqMemKb] > 0 ? raw[kFieldReqMemKb]
+                                                      : raw[kFieldUsedMemKb];
+  if (mem_kb > 0) {
+    j.mem_per_node =
+        Bytes{mem_kb * 1024} * options.procs_per_node;
+  } else {
+    j.mem_per_node = options.default_mem_per_node;
+  }
+  j.user = raw[kFieldUser] > 0 ? static_cast<std::int32_t>(raw[kFieldUser])
+                               : 0;
+  j.sensitivity = MemSensitivity::kBalanced;
+  out.kind = SwfLineKind::kJob;
+  out.job = j;
+  return out;
+}
+
 SwfResult read_swf(std::istream& in, const SwfOptions& options,
                    std::string trace_name) {
   DMSCHED_ASSERT(options.procs_per_node > 0, "SwfOptions: procs_per_node");
@@ -33,70 +102,21 @@ SwfResult read_swf(std::istream& in, const SwfOptions& options,
   std::string line;
   while (std::getline(in, line)) {
     ++result.lines_total;
-    const std::string_view stripped = trim(line);
-    if (stripped.empty() || stripped.front() == ';') continue;
-
-    const auto fields = split_ws(stripped);
-    if (fields.size() < kFieldCount) {
-      ++result.lines_malformed;
-      continue;
-    }
-    std::int64_t raw[kFieldCount];
-    bool parse_ok = true;
-    for (std::size_t i = 0; i < kFieldCount; ++i) {
-      double v{};  // archive traces occasionally use decimals (avg CPU time)
-      if (!parse_double(fields[i], v)) {
-        parse_ok = false;
+    const SwfParsedLine parsed = parse_swf_line(line, options);
+    switch (parsed.kind) {
+      case SwfLineKind::kBlank:
         break;
-      }
-      raw[i] = static_cast<std::int64_t>(std::llround(v));
+      case SwfLineKind::kMalformed:
+        ++result.lines_malformed;
+        break;
+      case SwfLineKind::kFiltered:
+        ++result.jobs_skipped;
+        break;
+      case SwfLineKind::kJob:
+        jobs.push_back(parsed.job);
+        ++result.jobs_accepted;
+        break;
     }
-    if (!parse_ok) {
-      ++result.lines_malformed;
-      continue;
-    }
-
-    if (options.completed_only && raw[kFieldStatus] != 1 &&
-        raw[kFieldStatus] != -1) {
-      ++result.jobs_skipped;
-      continue;
-    }
-    const std::int64_t runtime_sec = raw[kFieldRuntime];
-    std::int64_t procs = raw[kFieldReqProcs] > 0 ? raw[kFieldReqProcs]
-                                                 : raw[kFieldAllocProcs];
-    if (runtime_sec <= 0 || procs <= 0 || raw[kFieldSubmit] < 0) {
-      ++result.jobs_skipped;
-      continue;
-    }
-
-    Job j;
-    j.submit = seconds(raw[kFieldSubmit]);
-    j.nodes = static_cast<std::int32_t>(
-        (procs + options.procs_per_node - 1) / options.procs_per_node);
-    j.runtime = seconds(runtime_sec);
-    if (raw[kFieldReqTime] > 0) {
-      j.walltime = seconds(raw[kFieldReqTime]);
-    } else {
-      j.walltime = seconds(static_cast<double>(runtime_sec) *
-                           options.walltime_fallback_factor);
-    }
-    // Archive traces contain overruns (runtime > request) when sites had lax
-    // enforcement; DMSched requires runtime <= walltime, so clamp upward.
-    j.walltime = max(j.walltime, j.runtime);
-
-    const std::int64_t mem_kb = raw[kFieldReqMemKb] > 0 ? raw[kFieldReqMemKb]
-                                                        : raw[kFieldUsedMemKb];
-    if (mem_kb > 0) {
-      j.mem_per_node =
-          Bytes{mem_kb * 1024} * options.procs_per_node;
-    } else {
-      j.mem_per_node = options.default_mem_per_node;
-    }
-    j.user = raw[kFieldUser] > 0 ? static_cast<std::int32_t>(raw[kFieldUser])
-                                 : 0;
-    j.sensitivity = MemSensitivity::kBalanced;
-    jobs.push_back(j);
-    ++result.jobs_accepted;
   }
   if (in.bad()) {
     result.error = "I/O error while reading SWF stream";

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "common/units.hpp"
 #include "workload/trace.hpp"
@@ -42,6 +43,29 @@ struct SwfResult {
 
   [[nodiscard]] bool ok() const { return error.empty(); }
 };
+
+/// Classification of one SWF line.
+enum class SwfLineKind : std::uint8_t {
+  kJob,        ///< parsed into SwfParsedLine::job
+  kBlank,      ///< empty line or ';' comment (not an error)
+  kMalformed,  ///< unparseable (too few fields, non-numeric field)
+  kFiltered,   ///< parseable but filtered (status, zero runtime/procs, ...)
+};
+
+/// Outcome of parsing one SWF line.
+struct SwfParsedLine {
+  SwfLineKind kind = SwfLineKind::kBlank;
+  /// Valid only when kind == kJob. The id is unset and the submit time is
+  /// the archive's absolute time — callers rebase and assign ids (read_swf
+  /// via Trace::make, StreamingSwfSource incrementally).
+  Job job;
+};
+
+/// Parse one SWF line. This is the single line-level parser both the eager
+/// reader and the streaming source are built on, so their acceptance and
+/// accounting semantics cannot drift apart.
+[[nodiscard]] SwfParsedLine parse_swf_line(std::string_view line,
+                                           const SwfOptions& options);
 
 /// Parse an SWF stream. Malformed lines are counted and skipped; only I/O
 /// failure is a hard error.

@@ -91,30 +91,52 @@ std::int32_t sample_user(Rng& rng, const SyntheticSpec& spec) {
   return static_cast<std::int32_t>(z * spec.user_count);
 }
 
+/// The generator's per-job stepper: the one sampling sequence both the
+/// eager builder and the streaming source replay. Arrivals accumulate a
+/// clock, so submits are nondecreasing by construction — Trace::make's
+/// stable sort is the identity and ids equal generation order.
+class JobStream {
+ public:
+  JobStream(const SyntheticSpec& spec, std::uint64_t seed)
+      : spec_(spec),
+        master_(seed),
+        arrivals_(master_.fork(1)),
+        shapes_(master_.fork(2)),
+        memory_(master_.fork(3)),
+        timing_(master_.fork(4)) {}
+
+  Job next() {
+    clock_ += next_arrival_gap(arrivals_, spec_, clock_);
+    Job j;
+    j.submit = clock_;
+    j.nodes = sample_nodes(shapes_, spec_);
+    j.runtime = sample_runtime(timing_, spec_);
+    j.walltime = sample_walltime(timing_, spec_, j.runtime);
+    j.mem_per_node = sample_mem_per_node(memory_, spec_);
+    j.sensitivity = sample_sensitivity(memory_, spec_);
+    j.user = sample_user(shapes_, spec_);
+    return j;
+  }
+
+ private:
+  SyntheticSpec spec_;
+  Rng master_;
+  Rng arrivals_;
+  Rng shapes_;
+  Rng memory_;
+  Rng timing_;
+  SimTime clock_{};
+};
+
 }  // namespace
 
 Trace generate_trace(const SyntheticSpec& spec, std::uint64_t seed) {
   DMSCHED_ASSERT(spec.job_count > 0, "generate_trace: zero jobs");
-  Rng master(seed);
-  Rng arrivals = master.fork(1);
-  Rng shapes = master.fork(2);
-  Rng memory = master.fork(3);
-  Rng timing = master.fork(4);
-
+  JobStream stream(spec, seed);
   std::vector<Job> jobs;
   jobs.reserve(spec.job_count);
-  SimTime clock{};
   for (std::size_t i = 0; i < spec.job_count; ++i) {
-    clock += next_arrival_gap(arrivals, spec, clock);
-    Job j;
-    j.submit = clock;
-    j.nodes = sample_nodes(shapes, spec);
-    j.runtime = sample_runtime(timing, spec);
-    j.walltime = sample_walltime(timing, spec, j.runtime);
-    j.mem_per_node = sample_mem_per_node(memory, spec);
-    j.sensitivity = sample_sensitivity(memory, spec);
-    j.user = sample_user(shapes, spec);
-    jobs.push_back(j);
+    jobs.push_back(stream.next());
   }
   return Trace::make(std::move(jobs), spec.name);
 }
@@ -128,6 +150,54 @@ Trace generate_trace_with_load(const SyntheticSpec& spec, std::uint64_t seed,
   if (load <= 0.0) return raw;
   // offered_load scales inversely with the submission span.
   return raw.scaled_arrivals(load / target_load).rebased();
+}
+
+std::unique_ptr<TraceSource> make_synthetic_source(const SyntheticSpec& spec,
+                                                   std::uint64_t seed,
+                                                   std::int64_t machine_nodes,
+                                                   double target_load) {
+  DMSCHED_ASSERT(spec.job_count > 0, "make_synthetic_source: zero jobs");
+  DMSCHED_ASSERT(target_load > 0.0, "target load must be positive");
+  DMSCHED_ASSERT(machine_nodes > 0, "offered_load: machine has no nodes");
+
+  // Pass 1: replay the generator to measure the offered load with the same
+  // arithmetic Trace::offered_load applies to the materialized trace
+  // (used_node_seconds summed in generation order; span = last − first).
+  JobStream probe(spec, seed);
+  SimTime first{};
+  SimTime last{};
+  double node_seconds = 0.0;
+  for (std::size_t i = 0; i < spec.job_count; ++i) {
+    const Job j = probe.next();
+    if (i == 0) first = j.submit;
+    last = j.submit;
+    node_seconds += j.used_node_seconds();
+  }
+  const double span_sec =
+      spec.job_count < 2 ? 0.0 : (last - first).seconds();
+  const double load =
+      span_sec <= 0.0
+          ? 0.0
+          : node_seconds / (static_cast<double>(machine_nodes) * span_sec);
+  // Mirrors generate_trace_with_load: with no measurable load the raw
+  // submits pass through unscaled (and unrebased), otherwise the final
+  // submit is (s − s₀).scaled(load/target) — scaled_arrivals about the
+  // epoch s₀ followed by rebased().
+  const bool scale = load > 0.0;
+  const double factor = scale ? load / target_load : 1.0;
+
+  // Pass 2: the jobs themselves.
+  auto stream = std::make_shared<JobStream>(spec, seed);
+  auto generate = [stream, remaining = spec.job_count, epoch = first, scale,
+                   factor]() mutable -> std::optional<Job> {
+    if (remaining == 0) return std::nullopt;
+    --remaining;
+    Job j = stream->next();
+    if (scale) j.submit = (j.submit - epoch).scaled(factor);
+    return j;
+  };
+  return std::make_unique<GeneratorTraceSource>(spec.name, std::move(generate),
+                                                spec.job_count);
 }
 
 }  // namespace dmsched

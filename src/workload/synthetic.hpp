@@ -8,11 +8,13 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "workload/trace.hpp"
+#include "workload/trace_source.hpp"
 
 namespace dmsched {
 
@@ -94,5 +96,15 @@ struct SyntheticSpec {
                                              std::uint64_t seed,
                                              std::int64_t machine_nodes,
                                              double target_load);
+
+/// Pull-based equivalent of generate_trace_with_load: yields the identical
+/// jobs one at a time at O(1) memory. A deterministic prepass replays the
+/// same RNG streams to measure the offered load (so the arrival-scaling
+/// factor matches the eager builder bit-for-bit), then a second pass yields
+/// the jobs. Deterministic in all arguments; draining the source equals the
+/// eager trace job-for-job (pinned by tests/workload/trace_source_test).
+[[nodiscard]] std::unique_ptr<TraceSource> make_synthetic_source(
+    const SyntheticSpec& spec, std::uint64_t seed, std::int64_t machine_nodes,
+    double target_load);
 
 }  // namespace dmsched

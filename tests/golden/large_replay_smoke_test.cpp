@@ -8,11 +8,14 @@
 //  1. the registry entry exists and is documented;
 //  2. a replay drains: every job reaches a terminal state, audited;
 //  3. two independent builds + runs are byte-identical (the determinism
-//     contract holds at replication scale, not just at 240 jobs).
+//     contract holds at replication scale, not just at 240 jobs);
+//  4. the streaming ingestion path (make_scenario_stream + a bounded
+//     submission look-ahead) replays the same prefix byte-identically.
 #include <gtest/gtest.h>
 
 #include <vector>
 
+#include "core/experiment.hpp"
 #include "core/sweep.hpp"
 
 namespace dmsched {
@@ -82,6 +85,39 @@ TEST(LargeReplaySmoke, ReplayIsByteIdenticalAcrossBuilds) {
   EXPECT_EQ(ma.mean_wait_hours, mb.mean_wait_hours);
   EXPECT_EQ(ma.mean_bsld, mb.mean_bsld);
   EXPECT_EQ(ma.node_utilization, mb.node_utilization);
+}
+
+TEST(LargeReplaySmoke, StreamingPathMatchesTheEagerReplay) {
+  // The same capped prefix once eagerly and once via the pull-based source
+  // at a tight look-ahead window: byte-identical metrics, bounded event-id
+  // window (the property the million-replay bench measures at full scale).
+  const Scenario eager = smoke_scenario();
+  const RunMetrics me = run_scenario(eager, SchedulerKind::kEasy);
+
+  ScenarioStream stream = make_scenario_stream("large-replay",
+                                               {.jobs = kSmokeJobs});
+  ExperimentConfig cfg = scenario_experiment(stream, SchedulerKind::kEasy);
+  cfg.engine.submit_lookahead = 64;
+  SchedulingSimulation sim(cfg.cluster, *stream.source,
+                           make_scheduler(cfg.scheduler, cfg.mem_options),
+                           cfg.engine);
+  const RunMetrics ms = sim.run();
+
+  ASSERT_EQ(me.jobs.size(), ms.jobs.size());
+  for (std::size_t i = 0; i < me.jobs.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "job " << i);
+    EXPECT_EQ(me.jobs[i].fate, ms.jobs[i].fate);
+    EXPECT_EQ(me.jobs[i].submit.usec(), ms.jobs[i].submit.usec());
+    EXPECT_EQ(me.jobs[i].start.usec(), ms.jobs[i].start.usec());
+    EXPECT_EQ(me.jobs[i].end.usec(), ms.jobs[i].end.usec());
+    EXPECT_EQ(me.jobs[i].dilation, ms.jobs[i].dilation);
+  }
+  EXPECT_EQ(me.makespan.usec(), ms.makespan.usec());
+  EXPECT_EQ(me.mean_bsld, ms.mean_bsld);
+  EXPECT_EQ(me.node_utilization, ms.node_utilization);
+  // The bounded window keeps the live event-id span far below the prefix
+  // length (kSmokeJobs submissions would otherwise be pushed up front).
+  EXPECT_LT(sim.peak_event_id_window(), kSmokeJobs / 2);
 }
 
 }  // namespace

@@ -77,6 +77,26 @@ TEST(QueuePolicy, EmptyQueueIsFine) {
   EXPECT_TRUE(ids.empty());
 }
 
+TEST(QueuePolicy, LookupOverloadAgreesWithTheVectorOverload) {
+  // The engine's streaming mode orders its queue through a JobLookup (it has
+  // no dense job vector); both overloads share one comparator implementation
+  // and must sort identically under every policy and at several times.
+  const auto jobs = sample_jobs();
+  const JobLookup lookup = [&](JobId id) -> const Job& { return jobs[id]; };
+  for (const QueueOrder order :
+       {QueueOrder::kFcfs, QueueOrder::kShortestFirst,
+        QueueOrder::kLargestFirst, QueueOrder::kWfp}) {
+    for (const SimTime now : {hours(3), hours(5), hours(100)}) {
+      std::vector<JobId> by_vector{0, 1, 2, 3};
+      std::vector<JobId> by_lookup{0, 1, 2, 3};
+      order_queue(by_vector, jobs, order, now);
+      order_queue(by_lookup, lookup, order, now);
+      EXPECT_EQ(by_vector, by_lookup)
+          << to_string(order) << " at " << now.hours() << "h";
+    }
+  }
+}
+
 TEST(QueuePolicy, ToStringCoverage) {
   EXPECT_STREQ(to_string(QueueOrder::kFcfs), "fcfs");
   EXPECT_STREQ(to_string(QueueOrder::kShortestFirst), "sjf");

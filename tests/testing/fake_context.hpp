@@ -42,7 +42,7 @@ class FakeContext final : public SchedContext {
   /// Start a job directly (bypassing any scheduler) so tests can set up a
   /// running set. Uses the context's placement policy.
   void force_run(JobId id) {
-    const auto alloc = plan_start(cluster_, jobs_[id], placement_);
+    const auto alloc = plan_start(cluster_, job(id), placement_);
     DMSCHED_ASSERT(alloc.has_value(), "force_run: job does not fit");
     admit(id, *alloc);
   }
@@ -74,7 +74,17 @@ class FakeContext final : public SchedContext {
   // --- SchedContext ----------------------------------------------------------
   [[nodiscard]] SimTime now() const override { return now_; }
   [[nodiscard]] const Cluster& cluster() const override { return cluster_; }
-  [[nodiscard]] const Job& job(JobId id) const override { return jobs_[id]; }
+  [[nodiscard]] const Job& job(JobId id) const override {
+    // FakeContext is an *eager* context: it holds the whole job vector and
+    // equates JobId with position, like the engine's Trace mode (and unlike
+    // its TraceSource mode, which only retains live jobs). Fail loudly if a
+    // test hands us an id outside the materialized vector instead of reading
+    // a stranger's memory.
+    DMSCHED_ASSERT(id < jobs_.size(),
+                   "FakeContext::job: id out of range — this context is "
+                   "eager-only and indexes jobs by position");
+    return jobs_[id];
+  }
   [[nodiscard]] std::vector<JobId> queued_jobs() const override {
     std::vector<JobId> ids = queue_;
     order_queue(ids, jobs_, order_, now_);
@@ -125,7 +135,7 @@ class FakeContext final : public SchedContext {
  private:
   void admit(JobId id, const Allocation& alloc) {
     cluster_.commit(alloc);
-    const Job& j = jobs_[id];
+    const Job& j = job(id);
     const double dilation = slowdown_.dilation_for(alloc, j);
     RunningJob r;
     r.id = id;

@@ -56,6 +56,14 @@ TEST(SimSession, DrivesASchedulerThroughAFullJobLifecycle) {
   // teardown audits the now-empty cluster
 }
 
+TEST(FakeContext, JobLookupOutsideTheEagerVectorDiesLoudly) {
+  // FakeContext equates JobId with position in its materialized vector (the
+  // engine's eager mode). An id from outside that vector — e.g. one minted
+  // by a streaming run — must fail the eager-only assert, not read garbage.
+  FakeContext ctx(machine(4, 64.0), {job(0), job(1)});
+  EXPECT_DEATH((void)ctx.job(2), "eager-only");
+}
+
 TEST(SimSession, AuditsPooledAllocationsOnAdvance) {
   // A job larger than local memory draws from the rack pool; the advance()
   // audit validates the pooled bookkeeping while the job runs.

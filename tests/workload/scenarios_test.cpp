@@ -13,6 +13,15 @@
 namespace dmsched {
 namespace {
 
+/// Params for registry-wide loops: infrastructure scenarios default to
+/// scale-sized workloads (large-replay 100k, million-replay 10^6 jobs), so
+/// loops that only probe determinism or machine shape cap them small.
+ScenarioParams loop_params(const std::string& name) {
+  ScenarioParams p;
+  if (scenario_info(name).infrastructure) p.jobs = 2000;
+  return p;
+}
+
 void expect_same_trace(const Trace& a, const Trace& b) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -32,7 +41,8 @@ TEST(ScenarioRegistry, ListsTheStandardLibrary) {
   const std::vector<std::string> expected = {
       "golden-baseline", "memory-stressed",   "pool-contended",
       "bursty-arrivals", "wide-jobs",         "rack-local",
-      "tiered-contended", "mixed-swf",        "large-replay"};
+      "tiered-contended", "mixed-swf",        "large-replay",
+      "million-replay"};
   EXPECT_EQ(names, expected);
   for (const std::string& name : names) {
     EXPECT_TRUE(scenario_exists(name)) << name;
@@ -62,8 +72,9 @@ TEST(ScenarioRegistry, UnknownNameThrowsListingKnownNames) {
 TEST(ScenarioRegistry, EveryScenarioIsDeterministic) {
   for (const std::string& name : scenario_names()) {
     SCOPED_TRACE(name);
-    const Scenario a = make_scenario(name);
-    const Scenario b = make_scenario(name);
+    const ScenarioParams p = loop_params(name);
+    const Scenario a = make_scenario(name, p);
+    const Scenario b = make_scenario(name, p);
     EXPECT_FALSE(a.trace.empty());
     EXPECT_EQ(a.cluster.total_nodes, b.cluster.total_nodes);
     EXPECT_EQ(a.cluster.nodes_per_rack, b.cluster.nodes_per_rack);
@@ -78,7 +89,7 @@ TEST(ScenarioRegistry, EveryScenarioIsDeterministic) {
 TEST(ScenarioRegistry, EveryScenarioShapeIsValid) {
   for (const std::string& name : scenario_names()) {
     SCOPED_TRACE(name);
-    const Scenario s = make_scenario(name);
+    const Scenario s = make_scenario(name, loop_params(name));
     s.cluster.validate();  // aborts on degenerate shapes
     EXPECT_GT(s.trace.size(), 0u);
     EXPECT_FALSE(s.workload_reference_mem.is_zero());
@@ -122,9 +133,11 @@ TEST(ScenarioParamsTest, UnitScaleReproducesThePublishedScenario) {
   // byte-identical to the published machine and workload (golden safety).
   for (const std::string& name : scenario_names()) {
     SCOPED_TRACE(name);
-    const Scenario a = make_scenario(name);
-    const Scenario b =
-        make_scenario(name, {.node_scale = 1.0, .pool_scale = 1.0});
+    ScenarioParams unit = loop_params(name);
+    unit.node_scale = 1.0;
+    unit.pool_scale = 1.0;
+    const Scenario a = make_scenario(name, loop_params(name));
+    const Scenario b = make_scenario(name, unit);
     EXPECT_EQ(a.cluster.total_nodes, b.cluster.total_nodes);
     EXPECT_EQ(a.cluster.pool_per_rack, b.cluster.pool_per_rack);
     EXPECT_EQ(a.cluster.global_pool, b.cluster.global_pool);

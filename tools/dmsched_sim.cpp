@@ -9,6 +9,8 @@
 //               --pool-gib 2048 --jobs 4000 --csv-jobs out.csv
 //   dmsched-sim --swf trace.swf --procs-per-node 16 --scheduler easy
 //   dmsched-sim --scenario memory-stressed --scheduler easy --csv-jobs out.csv
+//   dmsched-sim --scenario million-replay --stream --lookahead 256
+//               --checkpoint-interval-min 120 --csv-windows windows.csv
 //   dmsched-sim --list-scenarios
 #include <cstdio>
 #include <optional>
@@ -61,6 +63,32 @@ void write_jobs_csv(const std::string& path, const RunMetrics& m) {
         .add(o.far_rack.gib())
         .add(o.far_global.gib())
         .add(to_string(o.sensitivity));
+    csv.end_row();
+  }
+}
+
+void write_windows_csv(const std::string& path, const RunMetrics& m) {
+  CsvWriter csv(path);
+  if (!csv.ok()) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  csv.header({"start_s", "end_s", "mean_busy_nodes", "mean_queued_jobs",
+              "busy_node_seconds", "rack_pool_gib_seconds",
+              "global_pool_gib_seconds", "submitted", "started", "finished",
+              "rejected"});
+  for (const MetricsWindow& w : m.windows) {
+    csv.add(w.start.seconds())
+        .add(w.end.seconds())
+        .add(w.mean_busy_nodes())
+        .add(w.mean_queued_jobs())
+        .add(w.busy_node_seconds)
+        .add(w.rack_pool_gib_seconds)
+        .add(w.global_pool_gib_seconds)
+        .add(w.jobs_submitted)
+        .add(w.jobs_started)
+        .add(w.jobs_finished)
+        .add(w.jobs_rejected);
     csv.end_row();
   }
 }
@@ -154,9 +182,24 @@ int main(int argc, char** argv) {
   // engine
   cli.add_flag("kill-on-walltime", "enforce walltime limits");
   cli.add_int("sample-interval-min", 0, "time-series sampling (0 = off)");
+  cli.add_int("lookahead", 0,
+              "pending-submission look-ahead window: how many un-fired "
+              "submission events the engine keeps scheduled ahead of the "
+              "clock (0 = unbounded). Any value is byte-identical; small "
+              "windows bound event-queue memory for huge replays");
+  cli.add_flag("stream",
+               "with --scenario: pull the workload through the streaming "
+               "source instead of materializing the trace (month-scale "
+               "replays at bounded workload memory; combine with "
+               "--lookahead)");
+  cli.add_int("checkpoint-interval-min", 0,
+              "emit windowed metric checkpoints at this interval "
+              "(0 = off; see --csv-windows)");
   // outputs
   cli.add_string("csv-jobs", "", "write per-job outcomes to this CSV");
   cli.add_string("csv-series", "", "write the time series to this CSV");
+  cli.add_string("csv-windows", "",
+                 "write checkpointed metric windows to this CSV");
   cli.add_flag("fairness", "print the per-user fairness summary");
   if (!cli.parse(argc, argv)) return 1;
 
@@ -179,7 +222,19 @@ int main(int argc, char** argv) {
   // --jobs/--seed/--load override its defaults (zero keeps the scenario
   // default — ScenarioParams' sentinel), other machine/workload flags are
   // ignored.
+  if (cli.get_flag("stream") && cli.get_string("scenario").empty()) {
+    std::fprintf(stderr,
+                 "error: --stream requires --scenario (only library "
+                 "scenarios have streaming workload sources)\n");
+    return 1;
+  }
+  if (cli.get_int("lookahead") < 0) {
+    std::fprintf(stderr, "error: --lookahead must be >= 0\n");
+    return 1;
+  }
+
   std::optional<Scenario> scenario;
+  std::optional<ScenarioStream> stream;
   if (const std::string name = cli.get_string("scenario"); !name.empty()) {
     if (cli.provided("swf")) {
       std::fprintf(stderr,
@@ -212,7 +267,11 @@ int main(int argc, char** argv) {
     params.rack_pool_frac = cli.get_double("rack-pool-frac");
     params.remote_penalty = cli.get_double("remote-penalty");
     try {
-      scenario = make_scenario(name, params);
+      if (cli.get_flag("stream")) {
+        stream = make_scenario_stream(name, params);
+      } else {
+        scenario = make_scenario(name, params);
+      }
     } catch (const std::invalid_argument& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
@@ -229,6 +288,7 @@ int main(int argc, char** argv) {
 
   ExperimentConfig config;
   config.cluster = scenario ? scenario->cluster
+                   : stream ? stream->cluster
                             : custom_config(
           static_cast<std::int32_t>(cli.get_int("nodes")),
           static_cast<std::int32_t>(cli.get_int("nodes-per-rack")),
@@ -294,17 +354,40 @@ int main(int argc, char** argv) {
   config.engine.slowdown.beta_rack = cli.get_double("beta-rack");
   config.engine.slowdown.beta_global = cli.get_double("beta-global");
   config.engine.slowdown.gamma = cli.get_double("gamma");
-  if (scenario) {
-    config.engine.slowdown =
-        config.engine.slowdown.with_remote_penalty(scenario->remote_penalty);
+  if (scenario || stream) {
+    config.engine.slowdown = config.engine.slowdown.with_remote_penalty(
+        scenario ? scenario->remote_penalty : stream->remote_penalty);
   }
   config.engine.kill_on_walltime = cli.get_flag("kill-on-walltime");
   if (cli.get_int("sample-interval-min") > 0) {
     config.engine.sample_interval = minutes(cli.get_int("sample-interval-min"));
   }
+  config.engine.submit_lookahead =
+      static_cast<std::size_t>(cli.get_int("lookahead"));
+  if (cli.get_int("checkpoint-interval-min") > 0) {
+    config.engine.checkpoint_interval =
+        minutes(cli.get_int("checkpoint-interval-min"));
+  }
 
   Trace trace;
-  if (scenario) {
+  if (stream) {
+    // Streaming mode deliberately never materializes the workload, so the
+    // eager-only surfaces (characterize, with_exact_walltimes) are
+    // unavailable: the point is O(live) workload memory.
+    if (cli.get_flag("exact-walltimes")) {
+      std::fprintf(stderr,
+                   "error: --exact-walltimes rewrites a materialized trace "
+                   "and cannot apply to --stream\n");
+      return 1;
+    }
+    config.workload_reference_mem = stream->workload_reference_mem;
+    std::printf("scenario: %s — %s (streaming", stream->info.name.c_str(),
+                stream->info.summary.c_str());
+    if (const auto hint = stream->source->size_hint(); hint.has_value()) {
+      std::printf(", %zu jobs", *hint);
+    }
+    std::printf(", lookahead %zu)\n", config.engine.submit_lookahead);
+  } else if (scenario) {
     trace = scenario->trace;
     config.workload_reference_mem = scenario->workload_reference_mem;
     std::printf("scenario: %s — %s\n", scenario->info.name.c_str(),
@@ -330,18 +413,20 @@ int main(int argc, char** argv) {
     config.workload_reference_mem = gib(cli.get_double("ref-mem-gib"));
     trace = make_workload(config);
   }
-  if (cli.get_flag("exact-walltimes")) {
+  if (!stream && cli.get_flag("exact-walltimes")) {
     trace = with_exact_walltimes(trace);
   }
 
-  const TraceStats stats =
-      characterize(trace, config.workload_reference_mem,
-                   config.cluster.total_nodes);
-  std::printf(
-      "workload: %zu jobs, %.1f h span, offered load %.2f, "
-      "mem/node p50 %.1f GiB, >local %.1f%%\n",
-      stats.job_count, stats.span_hours, stats.offered_load,
-      stats.mem_per_node_p50_gib, 100.0 * stats.frac_mem_above_full);
+  if (!stream) {
+    const TraceStats stats =
+        characterize(trace, config.workload_reference_mem,
+                     config.cluster.total_nodes);
+    std::printf(
+        "workload: %zu jobs, %.1f h span, offered load %.2f, "
+        "mem/node p50 %.1f GiB, >local %.1f%%\n",
+        stats.job_count, stats.span_hours, stats.offered_load,
+        stats.mem_per_node_p50_gib, 100.0 * stats.frac_mem_above_full);
+  }
   std::printf("machine : %s (%d nodes, %d racks, %s local, %s pool/rack, "
               "%s global)\n",
               config.cluster.name.c_str(), config.cluster.total_nodes,
@@ -350,7 +435,8 @@ int main(int argc, char** argv) {
               format_bytes(config.cluster.pool_per_rack).c_str(),
               format_bytes(config.cluster.global_pool).c_str());
 
-  const RunMetrics m = run_experiment(config, trace);
+  const RunMetrics m = stream ? run_experiment(config, *stream->source)
+                              : run_experiment(config, trace);
 
   std::printf("\n=== %s ===\n", m.label.c_str());
   std::printf("completed %zu, killed %zu, rejected %zu over %.1f h\n",
@@ -385,6 +471,16 @@ int main(int argc, char** argv) {
   if (const std::string path = cli.get_string("csv-series"); !path.empty()) {
     write_series_csv(path, m);
     std::printf("wrote time series to %s\n", path.c_str());
+  }
+  if (const std::string path = cli.get_string("csv-windows"); !path.empty()) {
+    if (m.windows.empty()) {
+      std::fprintf(stderr,
+                   "warning: --csv-windows without --checkpoint-interval-min "
+                   "writes an empty table\n");
+    }
+    write_windows_csv(path, m);
+    std::printf("wrote %zu metric windows to %s\n", m.windows.size(),
+                path.c_str());
   }
   return 0;
 }
