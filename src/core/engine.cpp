@@ -1,10 +1,41 @@
 #include "core/engine.hpp"
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/counters.hpp"
 
 namespace dmsched {
+
+namespace {
+
+[[noreturn]] void sink_abort(const char* what) {
+  std::fprintf(stderr,
+               "dmsched: trace sink threw mid-run: %s\n"
+               "  observers must be passive and noexcept; aborting rather "
+               "than unwinding a half-mutated simulation\n",
+               what);
+  std::abort();
+}
+
+/// Run one sink callback; a throwing sink dies deterministically here
+/// instead of propagating through the event loop.
+template <typename Fn>
+void guarded_emit(Fn&& fn) {
+  try {
+    std::forward<Fn>(fn)();
+  } catch (const std::exception& e) {
+    sink_abort(e.what());
+  } catch (...) {
+    sink_abort("non-standard exception");
+  }
+}
+
+}  // namespace
 
 void SchedulingSimulation::JobList::push_back(std::vector<JobRuntime>& rt,
                                               JobId job) {
@@ -331,10 +362,100 @@ void SchedulingSimulation::request_schedule_pass() {
   if (pass_pending_) return;
   pass_pending_ = true;
   engine_.schedule_at(engine_.now(), sim::EventClass::kSchedule,
-                      [this](SimTime) {
-                        pass_pending_ = false;
-                        scheduler_->schedule(*this);
-                      });
+                      [this](SimTime) { run_scheduler_pass(); });
+}
+
+void SchedulingSimulation::run_scheduler_pass() {
+  pass_pending_ = false;
+  ++pass_seq_;
+  obs::TraceSink* const sink = options_.sink;
+  const bool emit_pass =
+      sink != nullptr && options_.trace_detail >= obs::TraceDetail::kSched;
+  const bool want_gauges =
+      (sink != nullptr && options_.trace_detail == obs::TraceDetail::kFull) ||
+      options_.counters != nullptr;
+  if (!emit_pass && !want_gauges) {
+    scheduler_->schedule(*this);
+    return;
+  }
+
+  // Snapshot pre-pass state and the policy's cumulative counters so the
+  // span carries per-pass deltas. Everything here is observation: the
+  // scheduler call in the middle is the same call the untraced path makes.
+  const std::size_t depth_before = queue_.size();
+  const std::size_t running_before = running_.size();
+  const SchedulerStats* stats = scheduler_->stats();
+  SchedulerStats before;
+  if (stats != nullptr) before = *stats;
+  // Wall-clock pass timing is a kFull (profiling) feature: two clock reads
+  // per pass are the single largest fixed cost of pass spans, so kSched
+  // spans carry wall_ns = 0 and stay cheap.
+  const bool wall = emit_pass &&
+                    options_.trace_detail == obs::TraceDetail::kFull;
+  std::chrono::steady_clock::time_point wall0;
+  if (wall) wall0 = std::chrono::steady_clock::now();
+
+  scheduler_->schedule(*this);
+
+  if (emit_pass) {
+    obs::PassSpan span;
+    span.seq = pass_seq_ - 1;
+    span.at = engine_.now();
+    span.kind = scheduler_->name();
+    span.queue_depth = depth_before;
+    span.running = running_before;
+    // A pass only moves jobs queue -> running; submissions and completions
+    // cannot interleave with it at one timestamp (distinct event classes).
+    span.started = running_.size() - running_before;
+    if (stats != nullptr) {
+      span.examined =
+          static_cast<std::int64_t>(stats->jobs_examined - before.jobs_examined);
+      span.plans = static_cast<std::int64_t>(stats->plans_attempted -
+                                             before.plans_attempted);
+      span.fast_path = stats->fast_passes > before.fast_passes;
+    }
+    if (wall) {
+      span.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - wall0)
+                         .count();
+    }
+    guarded_emit([&] { sink->on_pass(span); });
+  }
+  if (want_gauges) {
+    obs::GaugeSample g;
+    g.at = engine_.now();
+    g.busy_nodes = cluster_.busy_nodes();
+    g.queue_depth = queue_.size();
+    g.running = running_.size();
+    g.event_queue_size = pending_events();
+    g.event_id_window = live_event_id_window();
+    g.rack_pool_gib = cluster_.rack_pools_used().gib();
+    g.global_pool_gib = cluster_.global_pool_used().gib();
+    if (sink != nullptr &&
+        options_.trace_detail == obs::TraceDetail::kFull) {
+      guarded_emit([&] { sink->on_gauges(g); });
+    }
+    if (options_.counters != nullptr) {
+      if (gauges_.queue_depth == nullptr) {
+        // Resolve once per run: get-or-create returns deque-stable slots.
+        obs::CounterRegistry& reg = *options_.counters;
+        gauges_.queue_depth = &reg.gauge("queue_depth");
+        gauges_.running_jobs = &reg.gauge("running_jobs");
+        gauges_.event_queue_size = &reg.gauge("event_queue_size");
+        gauges_.event_id_window = &reg.gauge("event_id_window");
+        gauges_.busy_nodes = &reg.gauge("busy_nodes");
+        gauges_.rack_pool_gib = &reg.gauge("rack_pool_gib");
+        gauges_.global_pool_gib = &reg.gauge("global_pool_gib");
+      }
+      gauges_.queue_depth->set(static_cast<double>(g.queue_depth));
+      gauges_.running_jobs->set(static_cast<double>(g.running));
+      gauges_.event_queue_size->set(static_cast<double>(g.event_queue_size));
+      gauges_.event_id_window->set(static_cast<double>(g.event_id_window));
+      gauges_.busy_nodes->set(static_cast<double>(g.busy_nodes));
+      gauges_.rack_pool_gib->set(g.rack_pool_gib);
+      gauges_.global_pool_gib->set(g.global_pool_gib);
+    }
+  }
 }
 
 void SchedulingSimulation::handle_submit(JobId id) {
@@ -361,12 +482,26 @@ void SchedulingSimulation::handle_submit(JobId id) {
     r.end = engine_.now();
     --live_jobs_;
     ++window_acc_.jobs_rejected;
+    if (options_.sink != nullptr) {
+      obs::JobRejected ev;
+      ev.job = id;
+      ev.at = engine_.now();
+      guarded_emit([&] { options_.sink->on_job_rejected(ev); });
+    }
     if (source_ != nullptr) live_jobs_rec_.erase(id);  // after last use of j
     return;
   }
   r.state = JobState::kQueued;
   queue_.push_back(rt_, id);
   queue_appends_.push_back(id);
+  if (options_.sink != nullptr) {
+    obs::JobQueued ev;
+    ev.job = id;
+    ev.submit = engine_.now();
+    ev.nodes = j.nodes;
+    ev.mem_per_node_gib = j.mem_per_node.gib();
+    guarded_emit([&] { options_.sink->on_job_queued(ev); });
+  }
   request_schedule_pass();
 }
 
@@ -397,6 +532,7 @@ void SchedulingSimulation::start_job(JobId id, const Allocation& alloc) {
   r.take = take_from_allocation(alloc, config_);
   r.far_rack = alloc.rack_draw_total();
   r.far_global = alloc.global_draw_total();
+  r.home_rack = config_.rack_of(alloc.nodes.front());
 
   SimTime actual = j.runtime.scaled(r.dilation);
   if (options_.kill_on_walltime && actual > j.walltime) {
@@ -408,6 +544,18 @@ void SchedulingSimulation::start_job(JobId id, const Allocation& alloc) {
   timeline_.on_start(id, r.expected_end, r.take);
   engine_.schedule_at(r.end, sim::EventClass::kCompletion,
                       [this, id](SimTime) { handle_complete(id); });
+  if (options_.sink != nullptr) {
+    obs::JobStarted ev;
+    ev.job = id;
+    ev.submit = j.submit;
+    ev.start = r.start;
+    ev.rack = r.home_rack;
+    ev.nodes = j.nodes;
+    ev.dilation = r.dilation;
+    ev.far_rack_gib = r.far_rack.gib();
+    ev.far_global_gib = r.far_global.gib();
+    guarded_emit([&] { options_.sink->on_job_started(ev); });
+  }
   record_usage_change();
 }
 
@@ -428,6 +576,15 @@ void SchedulingSimulation::handle_complete(JobId id) {
   --live_jobs_;
   last_end_ = max(last_end_, engine_.now());
   if (source_ != nullptr) live_jobs_rec_.erase(id);
+  if (options_.sink != nullptr) {
+    obs::JobFinished ev;
+    ev.job = id;
+    ev.start = r.start;
+    ev.end = engine_.now();
+    ev.rack = r.home_rack;
+    ev.killed = r.killed;
+    guarded_emit([&] { options_.sink->on_job_finished(ev); });
+  }
   record_usage_change();
   request_schedule_pass();
 }
@@ -435,6 +592,16 @@ void SchedulingSimulation::handle_complete(JobId id) {
 RunMetrics SchedulingSimulation::run() {
   DMSCHED_ASSERT(!run_called_, "run() is single-shot");
   run_called_ = true;
+
+  if (options_.sink != nullptr) {
+    obs::RunInfo info;
+    info.label = metrics_.label;
+    info.cluster_name = config_.name;
+    info.racks = config_.racks();
+    info.total_nodes = config_.total_nodes;
+    info.detail = options_.trace_detail;
+    guarded_emit([&] { options_.sink->on_run_begin(info); });
+  }
 
   // Prime the look-ahead window. An unbounded window (lookahead 0) pulls the
   // whole input here — the historical full pre-push; a bounded one schedules
@@ -494,7 +661,47 @@ RunMetrics SchedulingSimulation::run() {
     o.far_global = r.far_global;
   }
   metrics_.finalize();
+
+  if (options_.sink != nullptr) {
+    guarded_emit([&] { options_.sink->on_run_end(metrics_.makespan); });
+  }
+  fill_counters();
+
   return std::move(metrics_);
+}
+
+void SchedulingSimulation::fill_counters() {
+  if (options_.counters == nullptr) return;
+  obs::CounterRegistry& reg = *options_.counters;
+  reg.counter("events_processed").add(engine_.events_processed());
+  reg.counter("sched_passes").add(pass_seq_);
+  reg.counter("jobs_submitted").add(metrics_.jobs.size());
+  std::uint64_t completed = 0;
+  std::uint64_t killed = 0;
+  std::uint64_t rejected = 0;
+  for (const JobOutcome& o : metrics_.jobs) {
+    switch (o.fate) {
+      case JobFate::kCompleted:
+        ++completed;
+        break;
+      case JobFate::kKilled:
+        ++killed;
+        break;
+      case JobFate::kRejected:
+        ++rejected;
+        break;
+    }
+  }
+  reg.counter("jobs_completed").add(completed);
+  reg.counter("jobs_killed").add(killed);
+  reg.counter("jobs_rejected").add(rejected);
+  if (const SchedulerStats* stats = scheduler_->stats()) {
+    reg.counter("sched_fast_passes").add(stats->fast_passes);
+    reg.counter("sched_jobs_examined").add(stats->jobs_examined);
+    reg.counter("sched_plans_attempted").add(stats->plans_attempted);
+  }
+  reg.gauge("event_id_window_peak")
+      .set(static_cast<double>(engine_.peak_id_window()));
 }
 
 }  // namespace dmsched

@@ -12,6 +12,7 @@
 #include "core/metrics.hpp"
 #include "memory/placement.hpp"
 #include "memory/slowdown.hpp"
+#include "obs/trace_sink.hpp"
 #include "topology/topology.hpp"
 #include "sched/profile.hpp"
 #include "sched/queue_policy.hpp"
@@ -21,6 +22,11 @@
 #include "workload/trace_source.hpp"
 
 namespace dmsched {
+
+namespace obs {
+class CounterRegistry;
+struct Gauge;
+}  // namespace obs
 
 /// Engine-level knobs shared by all schedulers.
 struct EngineOptions {
@@ -44,6 +50,19 @@ struct EngineOptions {
   /// Emit windowed metrics checkpoints at this interval (0 = disabled).
   /// Passive: enabling it injects no events and perturbs nothing.
   SimTime checkpoint_interval{};
+  /// Passive observability (obs/): when non-null the engine emits job
+  /// lifecycle spans, scheduler pass spans, and gauge samples into the sink
+  /// at `trace_detail` granularity. Null = zero overhead: every emission
+  /// site is a single branch on this pointer, so the disabled path makes no
+  /// virtual call and marshals no arguments. Like checkpoint_interval,
+  /// attaching a sink injects no events and perturbs nothing — RunMetrics
+  /// are byte-identical either way (tests/golden/trace_passivity_test.cpp).
+  obs::TraceSink* sink = nullptr;
+  obs::TraceDetail trace_detail = obs::TraceDetail::kFull;
+  /// When non-null, end-of-run totals (events, passes, job fates) and gauge
+  /// envelopes land in this registry. Everything written is deterministic —
+  /// no wall-clock values — so a counters dump diffs as cleanly as a golden.
+  obs::CounterRegistry* counters = nullptr;
 };
 
 /// One simulation run. Create, call run(), read the metrics.
@@ -108,6 +127,18 @@ class SchedulingSimulation final : public SchedContext {
   [[nodiscard]] std::size_t peak_event_id_window() const {
     return engine_.peak_id_window();
   }
+  // --- instrumentation (live — stable gauge accessors) ---------------------
+  // The obs/ gauge stream and bench/sim_throughput's bounded-memory
+  // criterion read the *same* accessors, so the numbers they report are the
+  // same numbers by construction.
+  /// Events currently pending in the underlying queue.
+  [[nodiscard]] std::size_t pending_events() const { return engine_.pending(); }
+  /// Live event-id window of the underlying queue right now.
+  [[nodiscard]] std::size_t live_event_id_window() const {
+    return engine_.id_window();
+  }
+  /// Scheduler passes run so far.
+  [[nodiscard]] std::uint64_t passes_run() const { return pass_seq_; }
   /// Order-sensitive digest over semantic transitions (submit/start/finish
   /// with job id and sim time). Two runs that drain events in the same
   /// semantic order agree on this even when raw event ids differ (eager
@@ -139,6 +170,9 @@ class SchedulingSimulation final : public SchedContext {
     TakePlan take;
     Bytes far_rack{};
     Bytes far_global{};
+    /// Rack of the first allocated node — the trace track the job's run
+    /// span lives on (obs/).
+    std::int32_t home_rack = 0;
     /// Intrusive doubly-linked-list slots (a job is in at most one list at a
     /// time — queued xor running — so one pair of links suffices).
     JobId list_prev = kInvalidJobId;
@@ -174,6 +208,12 @@ class SchedulingSimulation final : public SchedContext {
   void handle_submit(JobId id);
   void handle_complete(JobId id);
   void request_schedule_pass();
+  /// The body of a kSchedule event: runs the scheduler, and — only when a
+  /// sink or counter registry is attached — wraps it with span/gauge
+  /// emission. The disabled path is the bare scheduler call.
+  void run_scheduler_pass();
+  /// End-of-run totals and envelopes into options_.counters.
+  void fill_counters();
   void record_usage_change();
   void sample_series();
 
@@ -220,6 +260,21 @@ class SchedulingSimulation final : public SchedContext {
   std::size_t live_jobs_ = 0;   // not yet terminal
   bool pass_pending_ = false;
   bool run_called_ = false;
+  std::uint64_t pass_seq_ = 0;  ///< scheduler passes run (one ++ per pass)
+
+  /// Per-pass gauge slots resolved once from options_.counters (name lookup
+  /// allocates; doing it every pass would dominate the observation cost —
+  /// bench/sim_throughput's tracing-overhead table enforces the budget).
+  struct GaugeRefs {
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* running_jobs = nullptr;
+    obs::Gauge* event_queue_size = nullptr;
+    obs::Gauge* event_id_window = nullptr;
+    obs::Gauge* busy_nodes = nullptr;
+    obs::Gauge* rack_pool_gib = nullptr;
+    obs::Gauge* global_pool_gib = nullptr;
+  };
+  GaugeRefs gauges_;
 
   // --- lazy submission state ----------------------------------------------
   std::size_t next_pull_ = 0;       ///< trace mode: next trace index

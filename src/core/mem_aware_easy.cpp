@@ -146,6 +146,7 @@ bool no_regression(const std::vector<Reservation>& baseline,
 }  // namespace
 
 void MemAwareEasyScheduler::schedule(SchedContext& ctx) {
+  ++stats_.passes;
   auto queue = ctx.queued_jobs();
   std::size_t qi = 0;
   const SimTime now = ctx.now();
@@ -161,6 +162,7 @@ void MemAwareEasyScheduler::schedule(SchedContext& ctx) {
       clean && cache_valid_ && ctx.queue_order_stable() && now >= last_now_;
   cache_valid_ = false;
   bool any_start = false;
+  if (fast) ++stats_.fast_passes;
 
   if (!fast) {
     profile_.drop_holds();
@@ -170,6 +172,8 @@ void MemAwareEasyScheduler::schedule(SchedContext& ctx) {
     // state, so the sync rebuilds).
     while (qi < queue.size()) {
       const Job& head = ctx.job(queue[qi]);
+      ++stats_.jobs_examined;
+      ++stats_.plans_attempted;
       auto choice = choose_fit(profile_, head, ctx, options_);
       DMSCHED_ASSERT(choice.has_value(),
                      "mem-easy: admitted head job has no fit at drain");
@@ -238,8 +242,10 @@ void MemAwareEasyScheduler::schedule(SchedContext& ctx) {
   for (JobId cid : candidates) {
     if (examined >= options_.backfill_window) break;
     ++examined;
+    ++stats_.jobs_examined;
     const Job& cand = ctx.job(cid);
     const ResourceState state_now = profile_.state_at(now);
+    ++stats_.plans_attempted;
     auto take = compute_take(state_now, config, cand, ctx.placement());
     if (!take) continue;
 

@@ -84,10 +84,14 @@ class MemAwareEasyScheduler final : public Scheduler {
     return options_.adaptive ? "adaptive" : "mem-easy";
   }
   [[nodiscard]] bool memory_aware() const override { return true; }
+  [[nodiscard]] const SchedulerStats* stats() const override {
+    return &stats_;
+  }
   void schedule(SchedContext& ctx) override;
 
  private:
   MemAwareOptions options_;
+  SchedulerStats stats_;
 
   /// Release profile carried across passes (holds only transient).
   FreeProfile profile_;

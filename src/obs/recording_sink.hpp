@@ -1,0 +1,58 @@
+// A TraceSink that records every callback verbatim.
+//
+// Used by the passivity golden tests (attach one, prove RunMetrics are
+// byte-identical to the no-sink run) and by the tracing-overhead bench arm
+// (a realistic sink: it pays the virtual dispatch and copies every payload,
+// but does no I/O). Also handy in unit tests for asserting exactly what the
+// engine emitted.
+#pragma once
+
+#include <vector>
+
+#include "obs/trace_sink.hpp"
+
+namespace dmsched::obs {
+
+class RecordingSink final : public TraceSink {
+ public:
+  RunInfo run_info;
+  bool begun = false;
+  bool ended = false;
+  SimTime makespan{};
+
+  std::vector<JobQueued> queued;
+  std::vector<JobRejected> rejected;
+  std::vector<JobStarted> started;
+  std::vector<JobFinished> finished;
+  std::vector<PassSpan> passes;
+  std::vector<GaugeSample> gauges;
+
+  void on_run_begin(const RunInfo& info) override {
+    run_info = info;
+    begun = true;
+  }
+  void on_job_queued(const JobQueued& e) override { queued.push_back(e); }
+  void on_job_rejected(const JobRejected& e) override { rejected.push_back(e); }
+  void on_job_started(const JobStarted& e) override { started.push_back(e); }
+  void on_job_finished(const JobFinished& e) override { finished.push_back(e); }
+  void on_pass(const PassSpan& e) override { passes.push_back(e); }
+  void on_gauges(const GaugeSample& e) override { gauges.push_back(e); }
+  void on_run_end(SimTime makespan_at) override {
+    makespan = makespan_at;
+    ended = true;
+  }
+
+  /// Drop all recorded events (keeps capacity — reuse across runs).
+  void clear() {
+    begun = ended = false;
+    makespan = SimTime{};
+    queued.clear();
+    rejected.clear();
+    started.clear();
+    finished.clear();
+    passes.clear();
+    gauges.clear();
+  }
+};
+
+}  // namespace dmsched::obs

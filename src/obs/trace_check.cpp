@@ -1,0 +1,468 @@
+#include "obs/trace_check.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/str.hpp"
+
+namespace dmsched::obs {
+namespace {
+
+// A small owned JSON value — one *event object* at a time, never the whole
+// document, so validation memory stays bounded by the largest single event.
+struct Json {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Json> array;
+  std::vector<std::pair<std::string, Json>> object;
+
+  [[nodiscard]] const Json* find(std::string_view key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+  bool expect(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    fail(strformat("expected '%c'", c));
+    return false;
+  }
+
+  [[nodiscard]] bool peek_is(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool parse_value(Json& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(out);
+      case '[':
+        return parse_array(out);
+      case '"':
+        out.kind = Json::kString;
+        return parse_string(out.str);
+      case 't':
+        out.kind = Json::kBool;
+        out.boolean = true;
+        return parse_literal("true");
+      case 'f':
+        out.kind = Json::kBool;
+        out.boolean = false;
+        return parse_literal("false");
+      case 'n':
+        out.kind = Json::kNull;
+        return parse_literal("null");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!expect('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("dangling escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out += e;
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad hex digit in \\u escape");
+          }
+          // Decoded text is only compared for equality; encode BMP code
+          // points as UTF-8 (surrogate pairs kept as-is two units).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("bad escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] bool failed() const { return !error_.empty(); }
+
+  bool fail(std::string msg) {
+    if (error_.empty())
+      error_ = strformat("JSON error at byte %zu: %s", pos_, msg.c_str());
+    return false;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool parse_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return fail("bad literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_number(Json& out) {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    bool any = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+      any = true;
+    }
+    if (!any) return fail("expected a value");
+    std::string slice(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.number = std::strtod(slice.c_str(), &end);
+    if (end != slice.c_str() + slice.size()) return fail("malformed number");
+    out.kind = Json::kNumber;
+    return true;
+  }
+
+  bool parse_object(Json& out) {
+    out.kind = Json::kObject;
+    if (!expect('{')) return false;
+    if (peek_is('}')) return expect('}');
+    while (true) {
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!expect(':')) return false;
+      Json value;
+      if (!parse_value(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      if (peek_is(',')) {
+        if (!expect(',')) return false;
+        continue;
+      }
+      return expect('}');
+    }
+  }
+
+  bool parse_array(Json& out) {
+    out.kind = Json::kArray;
+    if (!expect('[')) return false;
+    if (peek_is(']')) return expect(']');
+    while (true) {
+      Json value;
+      if (!parse_value(value)) return false;
+      out.array.push_back(std::move(value));
+      if (peek_is(',')) {
+        if (!expect(',')) return false;
+        continue;
+      }
+      return expect(']');
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+/// Cross-event state threaded through the per-event checks.
+struct Validator {
+  TraceCheckResult result;
+
+  using Track = std::pair<double, double>;  // (pid, tid)
+  std::map<Track, std::vector<std::string>> stacks;  // open "B" names
+  std::map<Track, double> last_ts;
+  // open async spans keyed (pid, cat, id); count allows overlapping spans
+  // sharing a key only if ids collide — our emitter never reuses an id.
+  std::map<std::tuple<double, std::string, std::string>, std::size_t> open;
+
+  bool fail(std::size_t index, const std::string& msg) {
+    if (result.error.empty())
+      result.error = strformat("event %zu: %s", index, msg.c_str());
+    return false;
+  }
+
+  static bool number_field(const Json& ev, const char* key, double& out) {
+    const Json* v = ev.find(key);
+    if (v == nullptr || v->kind != Json::kNumber) return false;
+    out = v->number;
+    return true;
+  }
+
+  static std::string id_of(const Json& ev) {
+    const Json* v = ev.find("id");
+    if (v == nullptr) return {};
+    if (v->kind == Json::kString) return v->str;
+    if (v->kind == Json::kNumber) return strformat("#%.17g", v->number);
+    return {};
+  }
+
+  bool check_event(const Json& ev, std::size_t index) {
+    if (ev.kind != Json::kObject)
+      return fail(index, "traceEvents element is not an object");
+    const Json* ph = ev.find("ph");
+    if (ph == nullptr || ph->kind != Json::kString || ph->str.size() != 1)
+      return fail(index, "missing or malformed \"ph\"");
+    char phase = ph->str[0];
+    ++result.events;
+
+    double pid = 0.0;
+    double tid = 0.0;
+    if (!number_field(ev, "pid", pid) || !number_field(ev, "tid", tid))
+      return fail(index, "missing numeric pid/tid");
+
+    if (phase == 'M') {
+      ++result.metadata;
+      return true;  // metadata carries no timestamp
+    }
+
+    double ts = 0.0;
+    if (!number_field(ev, "ts", ts))
+      return fail(index, "missing numeric ts");
+    if (!std::isfinite(ts) || ts < 0.0)
+      return fail(index, "ts is not a finite non-negative number");
+
+    Track track{pid, tid};
+    auto [it, fresh] = last_ts.emplace(track, ts);
+    if (!fresh) {
+      if (ts < it->second)
+        return fail(index,
+                    strformat("ts %.17g decreases on track (pid %g, tid %g); "
+                              "previous %.17g",
+                              ts, pid, tid, it->second));
+      it->second = ts;
+    }
+
+    const Json* name = ev.find("name");
+    const bool has_name = name != nullptr && name->kind == Json::kString;
+
+    switch (phase) {
+      case 'B': {
+        if (!has_name) return fail(index, "\"B\" event without a name");
+        stacks[track].push_back(name->str);
+        ++result.duration_begin;
+        return true;
+      }
+      case 'E': {
+        auto& stack = stacks[track];
+        if (stack.empty())
+          return fail(index, "\"E\" event with no open \"B\" on its track");
+        stack.pop_back();
+        ++result.duration_end;
+        return true;
+      }
+      case 'b':
+      case 'e': {
+        const Json* cat = ev.find("cat");
+        if (cat == nullptr || cat->kind != Json::kString)
+          return fail(index, "async event without a string \"cat\"");
+        std::string id = id_of(ev);
+        if (id.empty()) return fail(index, "async event without an \"id\"");
+        auto key = std::make_tuple(pid, cat->str, std::move(id));
+        if (phase == 'b') {
+          ++open[key];
+          ++result.async_begin;
+        } else {
+          auto oit = open.find(key);
+          if (oit == open.end() || oit->second == 0)
+            return fail(index, "\"e\" event without a matching open \"b\"");
+          if (--oit->second == 0) open.erase(oit);
+          ++result.async_end;
+        }
+        return true;
+      }
+      case 'X': {
+        double dur = 0.0;
+        if (!number_field(ev, "dur", dur) || dur < 0.0)
+          return fail(index, "\"X\" event without a non-negative \"dur\"");
+        ++result.complete;
+        return true;
+      }
+      case 'C': {
+        const Json* args = ev.find("args");
+        bool any_series = false;
+        if (args != nullptr && args->kind == Json::kObject)
+          for (const auto& [k, v] : args->object)
+            if (v.kind == Json::kNumber) any_series = true;
+        if (!any_series)
+          return fail(index, "\"C\" event without a numeric series in args");
+        ++result.counter;
+        return true;
+      }
+      case 'i':
+      case 'I': {
+        ++result.instant;
+        return true;
+      }
+      default:
+        // Unknown phases are tolerated (the format grows), but still obey
+        // the track-monotonicity rule applied above.
+        return true;
+    }
+  }
+
+  bool finish() {
+    for (const auto& [track, stack] : stacks)
+      if (!stack.empty())
+        return fail(result.events,
+                    strformat("%zu \"B\" event(s) never closed on track "
+                              "(pid %g, tid %g); first open: \"%s\"",
+                              stack.size(), track.first, track.second,
+                              stack.front().c_str()));
+    if (!open.empty()) {
+      const auto& [pid, cat, id] = open.begin()->first;
+      return fail(result.events,
+                  strformat("unclosed async span (pid %g, cat \"%s\", id %s)",
+                            pid, cat.c_str(), id.c_str()));
+    }
+    result.ok = true;
+    return true;
+  }
+};
+
+}  // namespace
+
+TraceCheckResult check_trace_json(std::string_view json) {
+  Parser parser(json);
+  Validator validator;
+  auto bail = [&](const std::string& msg) {
+    validator.result.ok = false;
+    if (validator.result.error.empty()) validator.result.error = msg;
+    return validator.result;
+  };
+
+  if (!parser.expect('{')) return bail(parser.error());
+  bool saw_events = false;
+  if (!parser.peek_is('}')) {
+    while (true) {
+      std::string key;
+      if (!parser.parse_string(key)) return bail(parser.error());
+      if (!parser.expect(':')) return bail(parser.error());
+      if (key == "traceEvents") {
+        if (saw_events) return bail("duplicate \"traceEvents\" key");
+        saw_events = true;
+        if (!parser.expect('[')) return bail(parser.error());
+        if (!parser.peek_is(']')) {
+          std::size_t index = 0;
+          while (true) {
+            Json event;
+            if (!parser.parse_value(event)) return bail(parser.error());
+            if (!validator.check_event(event, index++))
+              return validator.result;
+            if (parser.peek_is(',')) {
+              if (!parser.expect(',')) return bail(parser.error());
+              continue;
+            }
+            break;
+          }
+        }
+        if (!parser.expect(']')) return bail(parser.error());
+      } else {
+        Json discard;
+        if (!parser.parse_value(discard)) return bail(parser.error());
+      }
+      if (parser.peek_is(',')) {
+        if (!parser.expect(',')) return bail(parser.error());
+        continue;
+      }
+      break;
+    }
+  }
+  if (!parser.expect('}')) return bail(parser.error());
+  if (!parser.at_end()) return bail("trailing bytes after the root object");
+  if (!saw_events) return bail("no \"traceEvents\" array");
+  validator.finish();
+  return validator.result;
+}
+
+TraceCheckResult check_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    TraceCheckResult r;
+    r.error = strformat("cannot open %s", path.c_str());
+    return r;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::string doc = std::move(text).str();
+  return check_trace_json(doc);
+}
+
+}  // namespace dmsched::obs

@@ -1,0 +1,48 @@
+// Parse-back validation for Chrome/Perfetto trace-event JSON.
+//
+// A traced run is only useful if the artifact actually loads, so CI and the
+// emitter tests re-parse what PerfettoTraceWriter wrote and enforce the
+// structural rules the viewers rely on:
+//
+//  - well-formed JSON with a top-level "traceEvents" array of objects;
+//  - every event has a string "ph"; non-metadata events have numeric
+//    pid/tid/ts (ts finite and non-negative);
+//  - "B"/"E" duration events stack-match per (pid, tid);
+//  - "b"/"e" async events pair up per (pid, cat, id) — overlap allowed;
+//  - per-(pid, tid) timestamps are nondecreasing (emission order is the
+//    engine's event order, which is nondecreasing simulated time);
+//  - "X" events carry a non-negative "dur"; "C" events carry at least one
+//    numeric series in "args".
+//
+// Events are parsed, checked, and discarded one at a time — memory beyond
+// the raw document text is bounded by the largest single event.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace dmsched::obs {
+
+struct TraceCheckResult {
+  bool ok = false;
+  std::string error;  ///< empty when ok; first violation otherwise
+
+  std::size_t events = 0;  ///< total events seen (including metadata)
+  std::size_t duration_begin = 0;  ///< "B"
+  std::size_t duration_end = 0;    ///< "E"
+  std::size_t async_begin = 0;     ///< "b"
+  std::size_t async_end = 0;       ///< "e"
+  std::size_t complete = 0;        ///< "X"
+  std::size_t counter = 0;         ///< "C"
+  std::size_t instant = 0;         ///< "i"/"I"
+  std::size_t metadata = 0;        ///< "M"
+};
+
+/// Validate an in-memory JSON document.
+[[nodiscard]] TraceCheckResult check_trace_json(std::string_view json);
+
+/// Validate a file on disk (streams; the whole file is not buffered).
+[[nodiscard]] TraceCheckResult check_trace_file(const std::string& path);
+
+}  // namespace dmsched::obs

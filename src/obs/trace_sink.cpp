@@ -1,0 +1,24 @@
+#include "obs/trace_sink.hpp"
+
+namespace dmsched::obs {
+
+const char* to_string(TraceDetail detail) {
+  switch (detail) {
+    case TraceDetail::kLifecycle:
+      return "lifecycle";
+    case TraceDetail::kSched:
+      return "sched";
+    case TraceDetail::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+std::optional<TraceDetail> trace_detail_from_string(std::string_view s) {
+  if (s == "lifecycle") return TraceDetail::kLifecycle;
+  if (s == "sched") return TraceDetail::kSched;
+  if (s == "full") return TraceDetail::kFull;
+  return std::nullopt;
+}
+
+}  // namespace dmsched::obs

@@ -1,6 +1,7 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/assert.hpp"
 
@@ -62,8 +63,9 @@ void Executor::submit(const void* group, std::function<void()> task) {
   idle_cv_.notify_one();
 }
 
-std::function<void()> Executor::take(std::size_t self) {
+std::function<void()> Executor::take(std::size_t self, bool& stolen) {
   const std::size_t n = workers_.size();
+  stolen = false;
   // Own deque back (LIFO — cache-warm continuation), then steal from the
   // other deques' fronts (FIFO — oldest work first). Steal order must not
   // matter to any result; it only affects which thread runs a task.
@@ -82,10 +84,22 @@ std::function<void()> Executor::take(std::size_t self) {
     if (!victim.tasks.empty()) {
       auto task = std::move(victim.tasks.front().fn);
       victim.tasks.pop_front();
+      stolen = true;
       return task;
     }
   }
   return nullptr;
+}
+
+std::vector<ExecutorWorkerStats> Executor::worker_stats() const {
+  std::vector<ExecutorWorkerStats> out;
+  out.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    out.push_back({w->tasks_run.load(std::memory_order_relaxed),
+                   w->tasks_stolen.load(std::memory_order_relaxed),
+                   w->wait_ns.load(std::memory_order_relaxed)});
+  }
+  return out;
 }
 
 bool Executor::try_run_one_from(const void* group) {
@@ -110,22 +124,36 @@ bool Executor::try_run_one_from(const void* group) {
     const std::lock_guard<std::mutex> lock(idle_mutex_);
     --queued_;
   }
+  inline_runs_.fetch_add(1, std::memory_order_relaxed);
   task();
   return true;
 }
 
 void Executor::worker_loop(std::size_t self) {
+  WorkerDeque& me = *workers_[self];
   for (;;) {
-    if (auto task = take(self)) {
+    bool stolen = false;
+    if (auto task = take(self, stolen)) {
       {
         const std::lock_guard<std::mutex> lock(idle_mutex_);
         --queued_;
       }
+      me.tasks_run.fetch_add(1, std::memory_order_relaxed);
+      if (stolen) me.tasks_stolen.fetch_add(1, std::memory_order_relaxed);
       task();  // task wrappers never throw (TaskGroup captures inside)
       continue;
     }
     std::unique_lock<std::mutex> lock(idle_mutex_);
+    // Clock only the idle block (telemetry for the wall-clock trace track);
+    // a satisfied predicate returns immediately and adds ~nothing.
+    const auto idle0 = std::chrono::steady_clock::now();
     idle_cv_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+    me.wait_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - idle0)
+                .count()),
+        std::memory_order_relaxed);
     if (stopping_ && queued_ == 0) return;
   }
 }

@@ -28,8 +28,10 @@
 //    can outlive the state it references. Clean under ASan/UBSan/TSan.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -47,6 +49,18 @@ struct ExecutorOptions {
   unsigned threads = 0;
 };
 
+/// Cumulative wall-clock profile of one worker thread. Pure telemetry
+/// (surfaced on the obs/ wall-clock trace track): counters are maintained
+/// with relaxed atomics off the task hot path, never read by any scheduling
+/// decision, and nondeterministic by nature — two identical runs will
+/// report different steals and waits while producing identical results
+/// (the steal-order-unobservable contract above).
+struct ExecutorWorkerStats {
+  std::uint64_t tasks_run = 0;     ///< tasks this worker executed
+  std::uint64_t tasks_stolen = 0;  ///< of those, taken from another deque
+  std::uint64_t wait_ns = 0;       ///< total time blocked idle
+};
+
 /// A persistent pool of worker threads with per-worker work-stealing
 /// deques. Construct once, submit through TaskGroup, reuse for the life of
 /// the process. Thread-safe for concurrent submission.
@@ -61,6 +75,16 @@ class Executor {
   /// Number of worker threads (fixed at construction).
   [[nodiscard]] unsigned worker_count() const {
     return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Snapshot of every worker's cumulative profile (index = worker id).
+  /// Safe to call at any time from any thread; values are monotone.
+  [[nodiscard]] std::vector<ExecutorWorkerStats> worker_stats() const;
+
+  /// Tasks executed inline by blocked TaskGroup waiters (not by a pool
+  /// worker) — the "lend a hand" path in TaskGroup::wait.
+  [[nodiscard]] std::uint64_t inline_runs() const {
+    return inline_runs_.load(std::memory_order_relaxed);
   }
 
   /// The lazily-started process-lifetime default pool (hardware
@@ -83,6 +107,11 @@ class Executor {
   struct WorkerDeque {
     std::mutex mutex;
     std::deque<QueuedTask> tasks;
+    // Telemetry (see ExecutorWorkerStats). Relaxed is enough: each counter
+    // has one writer (its worker) and readers only want eventual totals.
+    std::atomic<std::uint64_t> tasks_run{0};
+    std::atomic<std::uint64_t> tasks_stolen{0};
+    std::atomic<std::uint64_t> wait_ns{0};
   };
 
   /// Enqueue a task (round-robin across worker deques) and wake a worker.
@@ -96,7 +125,8 @@ class Executor {
 
   /// Pop a task: own deque back (LIFO) when `self` is a worker index,
   /// otherwise steal from deque fronts (FIFO) starting after `self`.
-  std::function<void()> take(std::size_t self);
+  /// `stolen` reports whether the task came from another worker's deque.
+  std::function<void()> take(std::size_t self, bool& stolen);
 
   void worker_loop(std::size_t self);
 
@@ -108,6 +138,7 @@ class Executor {
   std::size_t queued_ = 0;
   bool stopping_ = false;
   std::size_t submit_cursor_ = 0;
+  std::atomic<std::uint64_t> inline_runs_{0};
   std::vector<std::jthread> threads_;  // last member: joins before the rest
 };
 

@@ -12,6 +12,7 @@ ConservativeScheduler::ConservativeScheduler(std::size_t window)
 }
 
 void ConservativeScheduler::schedule(SchedContext& ctx) {
+  ++stats_.passes;
   const SimTime now = ctx.now();
   const bool clean = profile_.sync(ctx);
 
@@ -25,6 +26,7 @@ void ConservativeScheduler::schedule(SchedContext& ctx) {
   const bool fast = clean && cache_valid_ && ctx.queue_order_stable() &&
                     now >= last_now_;
   if (fast) {
+    ++stats_.fast_passes;
     todo = ctx.queued_jobs_after(tail_epoch_);
   } else {
     profile_.drop_holds();
@@ -36,6 +38,8 @@ void ConservativeScheduler::schedule(SchedContext& ctx) {
   for (JobId id : todo) {
     if (reserved_ >= window_) break;
     ++reserved_;
+    ++stats_.jobs_examined;
+    ++stats_.plans_attempted;  // every examined job gets a window fit
     const Job& job = ctx.job(id);
     const auto walltime_bound = [&](const TakePlan& plan) {
       const double dilation = ctx.slowdown().dilation_bytes(

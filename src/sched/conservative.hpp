@@ -27,10 +27,14 @@ class ConservativeScheduler final : public Scheduler {
   explicit ConservativeScheduler(std::size_t window = 128);
 
   [[nodiscard]] const char* name() const override { return "conservative"; }
+  [[nodiscard]] const SchedulerStats* stats() const override {
+    return &stats_;
+  }
   void schedule(SchedContext& ctx) override;
 
  private:
   std::size_t window_;
+  SchedulerStats stats_;
 
   /// Reservation profile carried across passes (holds = reservations).
   FreeProfile profile_;

@@ -30,12 +30,14 @@ bool EasyScheduler::try_fast_pass(SchedContext& ctx) {
   bool cache_ok = true;
   for (const JobId id : ctx.queued_jobs_after(tail_epoch_)) {
     const Job& cand = ctx.job(id);
+    ++stats_.jobs_examined;
     // Rules first: neither depends on the allocation, and planning is the
     // expensive step — skip it for candidates no plan could rescue.
     const bool ends_before_shadow = now + cand.walltime <= shadow;
     const bool within_extra = cand.nodes <= extra;
     if (!ends_before_shadow && !within_extra) continue;
     if (cand.nodes > ctx.cluster().free_nodes_total()) continue;
+    ++stats_.plans_attempted;
     auto alloc = plan_start(ctx.cluster(), cand, ctx.placement());
     if (!alloc) continue;
     const SimTime bound =
@@ -69,7 +71,11 @@ bool EasyScheduler::try_fast_pass(SchedContext& ctx) {
 }
 
 void EasyScheduler::schedule(SchedContext& ctx) {
-  if (try_fast_pass(ctx)) return;
+  ++stats_.passes;
+  if (try_fast_pass(ctx)) {
+    ++stats_.fast_passes;
+    return;
+  }
   cache_valid_ = false;
 
   const auto queue = ctx.queued_jobs();
@@ -77,6 +83,8 @@ void EasyScheduler::schedule(SchedContext& ctx) {
 
   // Phase 1: start in order while the head fits.
   while (qi < queue.size()) {
+    ++stats_.jobs_examined;
+    ++stats_.plans_attempted;
     auto alloc =
         plan_start(ctx.cluster(), ctx.job(queue[qi]), ctx.placement());
     if (!alloc) break;
@@ -132,6 +140,7 @@ void EasyScheduler::schedule(SchedContext& ctx) {
   bool cache_ok = true;
   for (std::size_t i = qi + 1; i < queue.size(); ++i) {
     const Job& cand = ctx.job(queue[i]);
+    ++stats_.jobs_examined;
     // Rules first (memory-unaware bound: raw walltime, no dilation): they
     // do not depend on the allocation, and planning is the expensive step —
     // at saturation almost every candidate dies here, so the full pass is
@@ -142,6 +151,7 @@ void EasyScheduler::schedule(SchedContext& ctx) {
     // A plan needs cand.nodes free nodes somewhere; don't ask for one when
     // the machine provably lacks them.
     if (cand.nodes > ctx.cluster().free_nodes_total()) continue;
+    ++stats_.plans_attempted;
     auto alloc = plan_start(ctx.cluster(), cand, ctx.placement());
     if (!alloc) continue;
     // The engine's release bound for this start (dilated walltime).

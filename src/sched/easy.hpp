@@ -28,9 +28,13 @@ namespace dmsched {
 class EasyScheduler final : public Scheduler {
  public:
   [[nodiscard]] const char* name() const override { return "easy"; }
+  [[nodiscard]] const SchedulerStats* stats() const override {
+    return &stats_;
+  }
   void schedule(SchedContext& ctx) override;
 
  private:
+  SchedulerStats stats_;
   /// Handle the pass from the cached shadow/extra state. Returns false when
   /// the cache is missing or stale and a full pass must run.
   bool try_fast_pass(SchedContext& ctx);

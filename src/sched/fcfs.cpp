@@ -3,7 +3,10 @@
 namespace dmsched {
 
 void FcfsScheduler::schedule(SchedContext& ctx) {
+  ++stats_.passes;
   for (JobId id : ctx.queued_jobs()) {
+    ++stats_.jobs_examined;
+    ++stats_.plans_attempted;
     auto alloc = plan_start(ctx.cluster(), ctx.job(id), ctx.placement());
     if (!alloc) break;  // head of queue blocks everyone behind it
     ctx.start_job(id, *alloc);

@@ -10,7 +10,13 @@ namespace dmsched {
 class FcfsScheduler final : public Scheduler {
  public:
   [[nodiscard]] const char* name() const override { return "fcfs"; }
+  [[nodiscard]] const SchedulerStats* stats() const override {
+    return &stats_;
+  }
   void schedule(SchedContext& ctx) override;
+
+ private:
+  SchedulerStats stats_;
 };
 
 }  // namespace dmsched

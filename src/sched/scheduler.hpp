@@ -88,12 +88,27 @@ class SchedContext {
   virtual void start_job(JobId job, const Allocation& alloc) = 0;
 };
 
+/// Cumulative pass-instrumentation counters a policy may maintain. Strictly
+/// write-only from the policy's perspective: nothing may ever *read* them on
+/// a decision path (passivity contract — obs/trace_sink.hpp). The engine
+/// snapshots them around each pass to annotate trace spans with per-pass
+/// deltas, so the counts must only grow.
+struct SchedulerStats {
+  std::uint64_t passes = 0;        ///< schedule() invocations
+  std::uint64_t fast_passes = 0;   ///< served entirely from a warm cache
+  std::uint64_t jobs_examined = 0; ///< queue candidates judged
+  std::uint64_t plans_attempted = 0;  ///< plan_start / fit probes
+};
+
 /// A scheduling policy. `schedule` is invoked by the engine after every
 /// state change (submission or completion).
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
   [[nodiscard]] virtual const char* name() const = 0;
+  /// Pass-instrumentation counters, or nullptr when the policy keeps none.
+  /// The pointer must stay valid for the scheduler's lifetime.
+  [[nodiscard]] virtual const SchedulerStats* stats() const { return nullptr; }
   /// Scenario-metadata hook: does the policy consult memory/pool state when
   /// planning? The scenario library's expected-ordering claims (and the
   /// fig. 6 policy-discrimination suite) group policies by this, so a new

@@ -39,6 +39,55 @@ TEST(Executor, GlobalIsAProcessWideSingleton) {
   EXPECT_GE(a.worker_count(), 1u);
 }
 
+TEST(Executor, WorkerStatsAccountForSubmittedTasks) {
+  Executor executor(ExecutorOptions{3});
+  ASSERT_EQ(executor.worker_stats().size(), 3u);
+
+  constexpr std::uint64_t kTasks = 200;
+  std::atomic<std::uint64_t> ran{0};
+  TaskGroup group(executor);
+  for (std::uint64_t i = 0; i < kTasks; ++i) {
+    group.run([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  group.wait();
+  ASSERT_EQ(ran.load(), kTasks);
+
+  // Every task ran either on a pool worker (counted in its stats) or inline
+  // by the blocked waiter; together the telemetry must account for all of
+  // them. ">=" because the executor's counters are cumulative and other
+  // tests in this process may share nothing here — the pool is private.
+  const std::vector<ExecutorWorkerStats> stats = executor.worker_stats();
+  ASSERT_EQ(stats.size(), 3u);
+  std::uint64_t pool_runs = 0;
+  std::uint64_t steals = 0;
+  for (const ExecutorWorkerStats& w : stats) {
+    pool_runs += w.tasks_run;
+    steals += w.tasks_stolen;
+  }
+  EXPECT_EQ(pool_runs + executor.inline_runs(), kTasks);
+  // Steals are a subset of pool runs (a stolen task is still run).
+  EXPECT_LE(steals, pool_runs);
+}
+
+TEST(Executor, WorkerStatsAreMonotone) {
+  Executor executor(ExecutorOptions{2});
+  auto total_runs = [&executor] {
+    std::uint64_t sum = executor.inline_runs();
+    for (const ExecutorWorkerStats& w : executor.worker_stats())
+      sum += w.tasks_run;
+    return sum;
+  };
+  std::uint64_t previous = total_runs();
+  for (int batch = 0; batch < 4; ++batch) {
+    TaskGroup group(executor);
+    for (int i = 0; i < 25; ++i) group.run([] {});
+    group.wait();
+    const std::uint64_t now = total_runs();
+    EXPECT_GE(now, previous + 25) << "batch " << batch;
+    previous = now;
+  }
+}
+
 TEST(TaskGroupTest, RunsEverySubmittedTask) {
   Executor executor(ExecutorOptions{4});
   std::atomic<int> sum{0};

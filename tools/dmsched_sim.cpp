@@ -19,10 +19,14 @@
 #include "cluster/system_config.hpp"
 #include "common/cli.hpp"
 #include "common/csv.hpp"
+#include "common/log.hpp"
 #include "common/str.hpp"
 #include "core/engine.hpp"
 #include "core/experiment.hpp"
 #include "core/fairness.hpp"
+#include "obs/counters.hpp"
+#include "obs/perfetto.hpp"
+#include "runtime/executor.hpp"
 #include "workload/characterize.hpp"
 #include "workload/scenarios.hpp"
 #include "workload/swf.hpp"
@@ -35,7 +39,7 @@ using namespace dmsched;
 void write_jobs_csv(const std::string& path, const RunMetrics& m) {
   CsvWriter csv(path);
   if (!csv.ok()) {
-    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    DMSCHED_LOG_WARN("cannot write %s", path.c_str());
     return;
   }
   csv.header({"job", "user", "fate", "nodes", "mem_per_node_gib",
@@ -70,7 +74,7 @@ void write_jobs_csv(const std::string& path, const RunMetrics& m) {
 void write_windows_csv(const std::string& path, const RunMetrics& m) {
   CsvWriter csv(path);
   if (!csv.ok()) {
-    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    DMSCHED_LOG_WARN("cannot write %s", path.c_str());
     return;
   }
   csv.header({"start_s", "end_s", "mean_busy_nodes", "mean_queued_jobs",
@@ -96,7 +100,7 @@ void write_windows_csv(const std::string& path, const RunMetrics& m) {
 void write_series_csv(const std::string& path, const RunMetrics& m) {
   CsvWriter csv(path);
   if (!csv.ok()) {
-    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    DMSCHED_LOG_WARN("cannot write %s", path.c_str());
     return;
   }
   csv.header({"time_s", "busy_nodes", "queued", "running",
@@ -201,7 +205,32 @@ int main(int argc, char** argv) {
   cli.add_string("csv-windows", "",
                  "write checkpointed metric windows to this CSV");
   cli.add_flag("fairness", "print the per-user fairness summary");
+  cli.add_string("trace-out", "",
+                 "write a Chrome/Perfetto trace-event JSON of the run "
+                 "(load in ui.perfetto.dev or chrome://tracing)");
+  cli.add_string("trace-detail", "full",
+                 "trace granularity: lifecycle|sched|full");
+  cli.add_string("counters-out", "",
+                 "write end-of-run counters and gauge envelopes to this CSV");
+  cli.add_string("log-level", "warn",
+                 "stderr diagnostics threshold: debug|info|warn|error");
   if (!cli.parse(argc, argv)) return 1;
+
+  if (const std::string level = cli.get_string("log-level");
+      level == "debug") {
+    set_log_level(LogLevel::kDebug);
+  } else if (level == "info") {
+    set_log_level(LogLevel::kInfo);
+  } else if (level == "warn") {
+    set_log_level(LogLevel::kWarn);
+  } else if (level == "error") {
+    set_log_level(LogLevel::kError);
+  } else {
+    std::fprintf(stderr,
+                 "error: unknown --log-level '%s' (debug|info|warn|error)\n",
+                 level.c_str());
+    return 1;
+  }
 
   if (cli.get_flag("list-scenarios")) {
     for (const std::string& name : scenario_names()) {
@@ -435,8 +464,56 @@ int main(int argc, char** argv) {
               format_bytes(config.cluster.pool_per_rack).c_str(),
               format_bytes(config.cluster.global_pool).c_str());
 
+  // Passive observability: both attachments leave RunMetrics byte-identical
+  // (tests/golden/trace_passivity_test.cpp), so they can ride along on any
+  // run without invalidating comparisons against untraced ones.
+  const auto detail =
+      obs::trace_detail_from_string(cli.get_string("trace-detail"));
+  if (!detail) {
+    std::fprintf(stderr,
+                 "error: unknown --trace-detail '%s' (lifecycle|sched|full)\n",
+                 cli.get_string("trace-detail").c_str());
+    return 1;
+  }
+  config.engine.trace_detail = *detail;
+  std::optional<obs::PerfettoTraceWriter> trace_writer;
+  if (const std::string path = cli.get_string("trace-out"); !path.empty()) {
+    trace_writer.emplace(path);
+    if (!trace_writer->ok()) {
+      std::fprintf(stderr, "error: cannot open %s for the trace\n",
+                   path.c_str());
+      return 1;
+    }
+    config.engine.sink = &*trace_writer;
+    DMSCHED_LOG_INFO("tracing at detail '%s' into %s",
+                     obs::to_string(*detail), path.c_str());
+  }
+  obs::CounterRegistry registry;
+  if (!cli.get_string("counters-out").empty()) {
+    config.engine.counters = &registry;
+  }
+
   const RunMetrics m = stream ? run_experiment(config, *stream->source)
                               : run_experiment(config, trace);
+
+  if (trace_writer) {
+    // Wall-clock worker profiles only exist when the process actually used
+    // the pool (sweeps/benches); a single run just records an idle pool.
+    std::vector<obs::WorkerProfile> profiles;
+    for (const ExecutorWorkerStats& w : Executor::global().worker_stats()) {
+      profiles.push_back({w.tasks_run, w.tasks_stolen, w.wait_ns});
+    }
+    trace_writer->add_worker_profiles(profiles,
+                                      Executor::global().inline_runs());
+    trace_writer->close();
+    if (!trace_writer->ok()) {
+      std::fprintf(stderr, "error: trace write to %s failed\n",
+                   cli.get_string("trace-out").c_str());
+      return 1;
+    }
+    DMSCHED_LOG_DEBUG("trace closed after %zu events",
+                      trace_writer->events_written());
+  }
 
   std::printf("\n=== %s ===\n", m.label.c_str());
   std::printf("completed %zu, killed %zu, rejected %zu over %.1f h\n",
@@ -481,6 +558,21 @@ int main(int argc, char** argv) {
     write_windows_csv(path, m);
     std::printf("wrote %zu metric windows to %s\n", m.windows.size(),
                 path.c_str());
+  }
+  if (trace_writer) {
+    std::printf("wrote trace (%zu events) to %s\n",
+                trace_writer->events_written(),
+                cli.get_string("trace-out").c_str());
+  }
+  if (const std::string path = cli.get_string("counters-out");
+      !path.empty()) {
+    if (!registry.write_csv(path)) {
+      DMSCHED_LOG_WARN("cannot write %s", path.c_str());
+    } else {
+      std::printf("wrote %zu counters, %zu gauges to %s\n",
+                  registry.counter_count(), registry.gauge_count(),
+                  path.c_str());
+    }
   }
   return 0;
 }

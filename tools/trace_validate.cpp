@@ -1,0 +1,35 @@
+// dmsched-trace-validate: parse-back checker for trace-event JSON.
+//
+// CI runs this over the trace a `dmsched-sim --trace-out` replay produced
+// before uploading it as an artifact, so a malformed trace fails the build
+// instead of failing silently in a viewer weeks later. Exit 0 iff every
+// argument validates.
+#include <cstdio>
+#include <string>
+
+#include "obs/trace_check.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: dmsched-trace-validate TRACE.json...\n");
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    const dmsched::obs::TraceCheckResult r =
+        dmsched::obs::check_trace_file(path);
+    if (!r.ok) {
+      std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(),
+                   r.error.c_str());
+      all_ok = false;
+      continue;
+    }
+    std::printf(
+        "%s: ok — %zu events (async %zu/%zu, complete %zu, counter %zu, "
+        "instant %zu, metadata %zu)\n",
+        path.c_str(), r.events, r.async_begin, r.async_end, r.complete,
+        r.counter, r.instant, r.metadata);
+  }
+  return all_ok ? 0 : 1;
+}
