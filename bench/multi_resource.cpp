@@ -1,0 +1,89 @@
+// Multi-resource backfill study — the paper's single-resource memory policy
+// vs the generalized resource-aware planner on machines with a third axis.
+//
+// Two axes:
+//
+//  1. Policy (mem-easy, planning blind to devices and revalidating starts,
+//     vs resource-easy, planning on every provisioned axis), on the two
+//     resource scenarios — the divergence claim pinned by
+//     tests/golden/multi_resource_test.cpp, at bench width.
+//  2. Provisioning depth: gpu-contended re-run with the --gpus-per-node
+//     knob at 2/4/8 devices, quantifying how the blind policy's penalty
+//     grows as the device pool tightens (8 = ample, 2 = scarce).
+//
+// Writes multi_resource.csv beside the binary (one row per scenario ×
+// provisioning × policy) in the fig-style schema the golden suite's CI
+// artifact uses.
+#include "bench_util.hpp"
+#include "workload/scenarios.hpp"
+
+int main() {
+  using namespace dmsched;
+  using namespace dmsched::bench;
+
+  constexpr SchedulerKind kPolicies[] = {SchedulerKind::kMemAwareEasy,
+                                         SchedulerKind::kResourceAwareEasy};
+
+  ConsoleTable table(
+      "Multi-resource backfill — memory-only vs resource-aware planning");
+  table.columns({"scenario", "machine", "policy", "makespan (h)", "wait (h)",
+                 "bsld", "util", "gpu util", "gpu peak", "bb peak",
+                 "rejected"});
+  auto csv = csv_for("multi_resource");
+  csv.header({"scenario", "machine", "policy", "makespan_h", "mean_wait_h",
+              "p95_wait_h", "mean_bsld", "node_utilization",
+              "gpu_utilization", "gpu_peak", "bb_utilization", "bb_peak",
+              "completed", "rejected"});
+
+  struct Case {
+    std::string scenario;
+    std::string machine;  // provisioning label for the table/CSV
+    ScenarioParams params;
+  };
+  const std::vector<Case> cases = {
+      // Published provisioning of both resource scenarios...
+      {"gpu-contended", "4 gpus/node", {}},
+      {"bb-staging", "256 GiB bb", {}},
+      // ...plus the provisioning-depth sweep on the device axis.
+      {"gpu-contended", "2 gpus/node", {.gpus_per_node = 2}},
+      {"gpu-contended", "8 gpus/node", {.gpus_per_node = 8}},
+  };
+
+  for (const Case& c : cases) {
+    const Scenario scenario = make_scenario(c.scenario, c.params);
+    std::vector<ExperimentConfig> configs;
+    for (const SchedulerKind kind : kPolicies) {
+      ExperimentConfig cfg = scenario_experiment(scenario, kind);
+      cfg.label = c.scenario + "/" + c.machine + "/" + to_string(kind);
+      configs.push_back(std::move(cfg));
+    }
+    const auto results = run_sweep_on_trace(configs, scenario.trace);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const RunMetrics& m = results[i];
+      const char* policy = to_string(kPolicies[i]);
+      table.row({scenario.info.name, c.machine, policy,
+                 f1(m.makespan.hours()), f2(m.mean_wait_hours),
+                 f2(m.mean_bsld), pct(m.node_utilization),
+                 pct(m.gpu_utilization), pct(m.gpu_peak), pct(m.bb_peak),
+                 num(m.rejected)});
+      csv.add(scenario.info.name)
+          .add(c.machine)
+          .add(policy)
+          .add(m.makespan.hours())
+          .add(m.mean_wait_hours)
+          .add(m.p95_wait_hours)
+          .add(m.mean_bsld)
+          .add(m.node_utilization)
+          .add(m.gpu_utilization)
+          .add(m.gpu_peak)
+          .add(m.bb_utilization)
+          .add(m.bb_peak)
+          .add(m.completed)
+          .add(m.rejected);
+      csv.end_row();
+    }
+    table.separator();
+  }
+  table.print();
+  return 0;
+}

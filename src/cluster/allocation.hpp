@@ -32,6 +32,11 @@ struct Allocation {
   Bytes far_per_node{};
   /// Where the far bytes come from.
   std::vector<PoolDraw> draws;
+  /// GPU devices held per allocated node (drawn from the hosting racks'
+  /// pools; always equals the job's request — GPUs have no far tier).
+  std::int32_t gpus_per_node = 0;
+  /// Job-global burst-buffer reservation.
+  Bytes bb_bytes{};
 
   /// Total far bytes across the job.
   [[nodiscard]] Bytes far_total() const {
@@ -53,6 +58,20 @@ struct Allocation {
       if (d.rack != kGlobalPoolRack) total += d.bytes;
     }
     return total;
+  }
+  /// Total GPU devices held across the job.
+  [[nodiscard]] std::int64_t gpu_total() const {
+    return static_cast<std::int64_t>(gpus_per_node) *
+           static_cast<std::int64_t>(nodes.size());
+  }
+  /// GPU devices held in rack `r` (its nodes there x per-node count).
+  [[nodiscard]] std::int64_t gpus_in_rack(const ClusterConfig& config,
+                                          RackId r) const {
+    std::int64_t hosted = 0;
+    for (const NodeId n : nodes) {
+      if (config.rack_of(n) == r) ++hosted;
+    }
+    return hosted * gpus_per_node;
   }
   /// Far bytes drawn from the global pool.
   [[nodiscard]] Bytes global_draw_total() const {

@@ -14,6 +14,9 @@ void ClusterConfig::validate() const {
                  "ClusterConfig: nodes need local memory");
   DMSCHED_ASSERT(pool_per_rack >= Bytes{0} && global_pool >= Bytes{0},
                  "ClusterConfig: negative pool");
+  DMSCHED_ASSERT(gpus_per_node >= 0, "ClusterConfig: negative GPU count");
+  DMSCHED_ASSERT(bb_capacity >= Bytes{0},
+                 "ClusterConfig: negative burst-buffer capacity");
 }
 
 Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
@@ -25,6 +28,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     rack_free_[static_cast<std::size_t>(r)] = config_.rack_size(r);
   }
   pool_used_.assign(static_cast<std::size_t>(config_.racks()), Bytes{0});
+  gpu_used_.assign(static_cast<std::size_t>(config_.racks()), 0);
   free_total_ = config_.total_nodes;
 }
 
@@ -57,6 +61,22 @@ Bytes Cluster::rack_pools_used() const {
 Bytes Cluster::pool_used(RackId r) const {
   DMSCHED_ASSERT(r >= 0 && r < config_.racks(), "rack id out of range");
   return pool_used_[static_cast<std::size_t>(r)];
+}
+
+std::int64_t Cluster::free_gpus_in_rack(RackId r) const {
+  DMSCHED_ASSERT(r >= 0 && r < config_.racks(), "rack id out of range");
+  return config_.rack_gpu_capacity(r) - gpu_used_[static_cast<std::size_t>(r)];
+}
+
+std::int64_t Cluster::gpus_used_in_rack(RackId r) const {
+  DMSCHED_ASSERT(r >= 0 && r < config_.racks(), "rack id out of range");
+  return gpu_used_[static_cast<std::size_t>(r)];
+}
+
+std::int64_t Cluster::gpus_used_total() const {
+  std::int64_t total = 0;
+  for (const std::int64_t g : gpu_used_) total += g;
+  return total;
 }
 
 Bytes Cluster::busiest_rack_pool_used() const {
@@ -125,6 +145,27 @@ void Cluster::commit(const Allocation& alloc) {
     DMSCHED_ASSERT(hosts_node, "commit: draw from a rack hosting no node");
   }
 
+  // GPU demand lands on the hosting racks' device pools; burst-buffer
+  // reservations on the cluster-global staging capacity.
+  DMSCHED_ASSERT(alloc.gpus_per_node >= 0, "commit: negative GPU request");
+  DMSCHED_ASSERT(alloc.bb_bytes >= Bytes{0},
+                 "commit: negative burst-buffer reservation");
+  if (alloc.gpus_per_node > 0) {
+    std::vector<std::int64_t> demand(
+        static_cast<std::size_t>(config_.racks()), 0);
+    for (NodeId n : alloc.nodes) {
+      demand[static_cast<std::size_t>(config_.rack_of(n))] +=
+          alloc.gpus_per_node;
+    }
+    for (RackId r = 0; r < config_.racks(); ++r) {
+      DMSCHED_ASSERT(demand[static_cast<std::size_t>(r)] <=
+                         free_gpus_in_rack(r),
+                     "commit: rack GPU pool overcommitted");
+    }
+  }
+  DMSCHED_ASSERT(alloc.bb_bytes <= bb_free(),
+                 "commit: burst buffer overcommitted");
+
   // All checks passed: apply.
   for (NodeId n : alloc.nodes) {
     node_occupant_[static_cast<std::size_t>(n)] = alloc.job;
@@ -138,6 +179,13 @@ void Cluster::commit(const Allocation& alloc) {
       pool_used_[static_cast<std::size_t>(d.rack)] += d.bytes;
     }
   }
+  if (alloc.gpus_per_node > 0) {
+    for (NodeId n : alloc.nodes) {
+      gpu_used_[static_cast<std::size_t>(config_.rack_of(n))] +=
+          alloc.gpus_per_node;
+    }
+  }
+  bb_used_ += alloc.bb_bytes;
   allocations_.emplace(alloc.job, alloc);
 }
 
@@ -160,6 +208,14 @@ Allocation Cluster::release(JobId job) {
       pool_used_[static_cast<std::size_t>(d.rack)] -= d.bytes;
     }
   }
+  if (alloc.gpus_per_node > 0) {
+    for (NodeId n : alloc.nodes) {
+      auto& held = gpu_used_[static_cast<std::size_t>(config_.rack_of(n))];
+      held -= alloc.gpus_per_node;
+      DMSCHED_ASSERT(held >= 0, "release: GPU ledger corrupt");
+    }
+  }
+  bb_used_ -= alloc.bb_bytes;
   return alloc;
 }
 
@@ -193,12 +249,16 @@ void Cluster::audit() const {
   DMSCHED_ASSERT(rack_free == rack_free_, "audit: rack free-count drift");
 
   std::vector<Bytes> pool_used(pool_used_.size(), Bytes{0});
+  std::vector<std::int64_t> gpu_used(gpu_used_.size(), 0);
   Bytes global_used{};
+  Bytes bb_used{};
   for (const auto& [job, alloc] : allocations_) {
     DMSCHED_ASSERT(job == alloc.job, "audit: allocation key mismatch");
     for (NodeId n : alloc.nodes) {
       DMSCHED_ASSERT(node_occupant_[static_cast<std::size_t>(n)] == job,
                      "audit: allocation lists a node it does not hold");
+      gpu_used[static_cast<std::size_t>(config_.rack_of(n))] +=
+          alloc.gpus_per_node;
     }
     for (const auto& d : alloc.draws) {
       if (d.rack == kGlobalPoolRack) {
@@ -207,6 +267,7 @@ void Cluster::audit() const {
         pool_used[static_cast<std::size_t>(d.rack)] += d.bytes;
       }
     }
+    bb_used += alloc.bb_bytes;
   }
   DMSCHED_ASSERT(global_used == global_used_, "audit: global pool drift");
   for (std::size_t r = 0; r < pool_used.size(); ++r) {
@@ -216,6 +277,15 @@ void Cluster::audit() const {
   }
   DMSCHED_ASSERT(global_used_ <= config_.global_pool,
                  "audit: global pool overcommitted");
+  DMSCHED_ASSERT(gpu_used == gpu_used_, "audit: GPU ledger drift");
+  for (RackId r = 0; r < config_.racks(); ++r) {
+    DMSCHED_ASSERT(gpu_used_[static_cast<std::size_t>(r)] <=
+                       config_.rack_gpu_capacity(r),
+                   "audit: rack GPU pool overcommitted");
+  }
+  DMSCHED_ASSERT(bb_used == bb_used_, "audit: burst-buffer drift");
+  DMSCHED_ASSERT(bb_used_ <= config_.bb_capacity,
+                 "audit: burst buffer overcommitted");
 }
 
 }  // namespace dmsched

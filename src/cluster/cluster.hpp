@@ -45,6 +45,16 @@ class Cluster {
   [[nodiscard]] Bytes busiest_rack_pool_used() const;
   /// Bytes currently drawn from the global pool.
   [[nodiscard]] Bytes global_pool_used() const { return global_used_; }
+  /// Free GPU devices in rack `r`'s pool (0 on GPU-less machines).
+  [[nodiscard]] std::int64_t free_gpus_in_rack(RackId r) const;
+  /// GPU devices currently held in rack `r`.
+  [[nodiscard]] std::int64_t gpus_used_in_rack(RackId r) const;
+  /// GPU devices currently held across the machine.
+  [[nodiscard]] std::int64_t gpus_used_total() const;
+  /// Remaining burst-buffer capacity.
+  [[nodiscard]] Bytes bb_free() const { return config_.bb_capacity - bb_used_; }
+  /// Burst-buffer bytes currently reserved.
+  [[nodiscard]] Bytes bb_used() const { return bb_used_; }
 
   /// The `count` lowest-numbered free nodes in rack `r` (deterministic
   /// placement); fewer are returned if the rack has fewer free.
@@ -75,7 +85,9 @@ class Cluster {
   std::vector<JobId> node_occupant_;       // per node
   std::vector<std::int32_t> rack_free_;    // per rack
   std::vector<Bytes> pool_used_;           // per rack
+  std::vector<std::int64_t> gpu_used_;     // per rack
   Bytes global_used_{};
+  Bytes bb_used_{};
   std::int32_t free_total_ = 0;
   std::unordered_map<JobId, Allocation> allocations_;
 };

@@ -28,6 +28,15 @@ struct ClusterConfig {
   /// Cluster-global pool capacity (0 = none). Models a far memory tier
   /// reachable from every rack at higher cost.
   Bytes global_pool{};
+  /// Accelerators provisioned per node (0 = no GPUs). GPUs are rack-pooled
+  /// (multi-instance / fabric-attached): rack `r` owns
+  /// `gpus_per_node * rack_size(r)` devices shared among its nodes, so a job
+  /// whose per-node GPU demand exceeds the provisioned ratio contends with
+  /// its rack neighbours instead of being flatly infeasible.
+  std::int32_t gpus_per_node = 0;
+  /// Cluster-global burst-buffer capacity (0 = none). Jobs reserve staging
+  /// space for their whole runtime.
+  Bytes bb_capacity{};
 
   [[nodiscard]] std::int32_t racks() const {
     return (total_nodes + nodes_per_rack - 1) / nodes_per_rack;
@@ -49,6 +58,18 @@ struct ClusterConfig {
   [[nodiscard]] Bytes total_memory() const {
     return local_mem_per_node * total_nodes + total_pool();
   }
+  /// GPU devices owned by rack `r` (the last rack may be partial).
+  [[nodiscard]] std::int64_t rack_gpu_capacity(RackId r) const {
+    return static_cast<std::int64_t>(gpus_per_node) * rack_size(r);
+  }
+  /// GPU devices across the whole machine.
+  [[nodiscard]] std::int64_t total_gpus() const {
+    return static_cast<std::int64_t>(gpus_per_node) * total_nodes;
+  }
+  /// True when the machine provisions any GPUs.
+  [[nodiscard]] bool has_gpus() const { return gpus_per_node > 0; }
+  /// True when the machine provisions a burst buffer.
+  [[nodiscard]] bool has_burst_buffer() const { return !bb_capacity.is_zero(); }
   /// Abort if the shape is degenerate.
   void validate() const;
 };

@@ -39,6 +39,14 @@ bool Cli::assign(const std::string& key, const std::string& value) {
                  key.c_str());
     return false;
   }
+  // A repeated option is almost always an editing accident (a sweep script
+  // overriding the wrong copy); silently letting the last one win buries
+  // the mistake, so reject it loudly instead.
+  if (it->second.provided) {
+    std::fprintf(stderr, "%s: --%s given more than once\n", program_.c_str(),
+                 key.c_str());
+    return false;
+  }
   switch (it->second.kind) {
     case Kind::kInt: {
       std::int64_t v{};
@@ -97,6 +105,11 @@ bool Cli::parse(int argc, const char* const* argv) {
     const std::string key{arg};
     auto it = options_.find(key);
     if (it != options_.end() && it->second.kind == Kind::kFlag) {
+      if (it->second.provided) {
+        std::fprintf(stderr, "%s: --%s given more than once\n",
+                     program_.c_str(), key.c_str());
+        return false;
+      }
       it->second.value = "true";
       it->second.provided = true;
       continue;

@@ -213,6 +213,12 @@ void SchedulingSimulation::record_usage_change() {
     busiest_rack_pool_peak_ =
         max(busiest_rack_pool_peak_, cluster_.busiest_rack_pool_used());
   }
+  if (config_.has_gpus()) {
+    gpu_tw_.record(t, static_cast<double>(cluster_.gpus_used_total()));
+  }
+  if (config_.has_burst_buffer()) {
+    bb_tw_.record(t, static_cast<double>(cluster_.bb_used().count()));
+  }
 }
 
 void SchedulingSimulation::sample_series() {
@@ -252,6 +258,9 @@ bool SchedulingSimulation::pull_one() {
   DMSCHED_ASSERT(j.runtime > SimTime{0}, "pulled job has no runtime");
   DMSCHED_ASSERT(j.walltime >= j.runtime, "pulled job walltime < runtime");
   DMSCHED_ASSERT(j.mem_per_node >= Bytes{0}, "pulled job memory negative");
+  DMSCHED_ASSERT(j.gpus_per_node >= 0, "pulled job GPU count negative");
+  DMSCHED_ASSERT(j.bb_bytes >= Bytes{0},
+                 "pulled job burst-buffer request negative");
   DMSCHED_ASSERT(!pulled_any_ || j.submit >= last_pull_submit_,
                  "job input is not sorted by submission time");
   if (!pulled_any_) first_submit_ = j.submit;
@@ -645,6 +654,17 @@ RunMetrics SchedulingSimulation::run() {
       metrics_.global_pool_utilization =
           global_pool_tw_.finish(horizon) / global_capacity;
       metrics_.global_pool_peak = global_pool_tw_.peak() / global_capacity;
+    }
+    if (config_.has_gpus()) {
+      const double gpu_capacity = static_cast<double>(config_.total_gpus());
+      metrics_.gpu_utilization = gpu_tw_.finish(horizon) / gpu_capacity;
+      metrics_.gpu_peak = gpu_tw_.peak() / gpu_capacity;
+    }
+    if (config_.has_burst_buffer()) {
+      const double bb_capacity =
+          static_cast<double>(config_.bb_capacity.count());
+      metrics_.bb_utilization = bb_tw_.finish(horizon) / bb_capacity;
+      metrics_.bb_peak = bb_tw_.peak() / bb_capacity;
     }
   }
   // Static outcome fields were recorded at pull time (see pull_one); fill

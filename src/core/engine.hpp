@@ -299,6 +299,8 @@ class SchedulingSimulation final : public SchedContext {
   TimeWeightedMean busy_nodes_tw_;
   TimeWeightedMean rack_pool_tw_;
   TimeWeightedMean global_pool_tw_;
+  TimeWeightedMean gpu_tw_;         ///< devices in use (GPU machines only)
+  TimeWeightedMean bb_tw_;          ///< burst-buffer bytes reserved
   Bytes busiest_rack_pool_peak_{};  ///< max single-rack pool draw observed
   SimTime last_end_{};
 };

@@ -14,6 +14,7 @@ const char* to_string(SchedulerKind kind) {
     case SchedulerKind::kConservative: return "conservative";
     case SchedulerKind::kMemAwareEasy: return "mem-easy";
     case SchedulerKind::kAdaptive: return "adaptive";
+    case SchedulerKind::kResourceAwareEasy: return "resource-easy";
   }
   return "?";
 }
@@ -24,6 +25,7 @@ SchedulerKind scheduler_kind_from_string(const std::string& s) {
   if (s == "conservative") return SchedulerKind::kConservative;
   if (s == "mem-easy") return SchedulerKind::kMemAwareEasy;
   if (s == "adaptive") return SchedulerKind::kAdaptive;
+  if (s == "resource-easy") return SchedulerKind::kResourceAwareEasy;
   DMSCHED_UNREACHABLE("unknown scheduler name");
 }
 
@@ -50,6 +52,12 @@ std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
     case SchedulerKind::kAdaptive: {
       MemAwareOptions opts = mem_options;
       opts.adaptive = true;
+      return std::make_unique<MemAwareEasyScheduler>(opts);
+    }
+    case SchedulerKind::kResourceAwareEasy: {
+      MemAwareOptions opts = mem_options;
+      opts.adaptive = false;
+      opts.axes = ResourceAxes::all();
       return std::make_unique<MemAwareEasyScheduler>(opts);
     }
   }

@@ -59,11 +59,12 @@ std::optional<FitChoice> evaluate_fit(const FreeProfile& profile,
 
 /// Plain mode: earliest fit under the configured policy. Adaptive mode:
 /// also evaluate a rack-pool-only start and pick whichever finishes sooner
-/// (deferral must win by the configured margin).
+/// (deferral must win by the configured margin). `base` is the planning
+/// policy — the context's placement with this scheduler's axes applied.
 std::optional<FitChoice> choose_fit(const FreeProfile& profile, const Job& job,
                                     const SchedContext& ctx,
-                                    const MemAwareOptions& opts) {
-  const PlacementPolicy base = ctx.placement();
+                                    const MemAwareOptions& opts,
+                                    const PlacementPolicy& base) {
   auto primary = evaluate_fit(profile, job, ctx, base);
   if (!opts.adaptive || base.routing == PoolRouting::kRackOnly) {
     return primary;
@@ -85,12 +86,13 @@ std::optional<FitChoice> choose_fit(const FreeProfile& profile, const Job& job,
 std::vector<Reservation> place_reservations(FreeProfile& profile,
                                             const std::vector<JobId>& jobs,
                                             const SchedContext& ctx,
-                                            const MemAwareOptions& opts) {
+                                            const MemAwareOptions& opts,
+                                            const PlacementPolicy& planning) {
   std::vector<Reservation> reservations;
   reservations.reserve(jobs.size());
   for (const JobId id : jobs) {
     const Job& job = ctx.job(id);
-    const auto choice = choose_fit(profile, job, ctx, opts);
+    const auto choice = choose_fit(profile, job, ctx, opts, planning);
     // Admitted jobs always fit once the profile drains.
     DMSCHED_ASSERT(choice.has_value(),
                    "mem-easy: admitted job has no reservation");
@@ -152,6 +154,18 @@ void MemAwareEasyScheduler::schedule(SchedContext& ctx) {
   const SimTime now = ctx.now();
   const ClusterConfig& config = ctx.cluster().config();
 
+  // The planning policy: the context's placement narrowed to this
+  // scheduler's axes. The memory-only instantiation plans blind to GPUs and
+  // burst buffer; on machines that provision a blind axis every start must
+  // be revalidated against the full ledger (plans may be wrong, starts never
+  // are). On legacy machines `revalidate` is false and the planning policy
+  // equals the context's, so this block changes nothing — byte-identical.
+  PlacementPolicy planning = ctx.placement();
+  planning.axes = options_.axes;
+  const bool revalidate =
+      (!options_.axes.gpus && config.has_gpus()) ||
+      (!options_.axes.burst_buffer && config.has_burst_buffer());
+
   // A clean sync proves nothing moved since the last pass. If that pass
   // converged with a fully-armed cache, phases 1 and 2 are skipped: every
   // head fit and every baseline reservation sits at a release breakpoint or
@@ -174,13 +188,22 @@ void MemAwareEasyScheduler::schedule(SchedContext& ctx) {
       const Job& head = ctx.job(queue[qi]);
       ++stats_.jobs_examined;
       ++stats_.plans_attempted;
-      auto choice = choose_fit(profile_, head, ctx, options_);
+      auto choice = choose_fit(profile_, head, ctx, options_, planning);
       DMSCHED_ASSERT(choice.has_value(),
                      "mem-easy: admitted head job has no fit at drain");
       if (choice->fit.time > now) break;
-      const Allocation alloc =
-          materialize(ctx.cluster(), head, choice->fit.plan);
-      ctx.start_job(queue[qi], alloc);
+      if (revalidate) {
+        // The blind plan says "now", but an unplanned axis may be exhausted;
+        // replan against the live ledger with every axis on. A failed
+        // replan means the head is physically blocked — it waits.
+        auto alloc = plan_start(ctx.cluster(), head, ctx.placement());
+        if (!alloc) break;
+        ctx.start_job(queue[qi], *alloc);
+      } else {
+        const Allocation alloc =
+            materialize(ctx.cluster(), head, choice->fit.plan);
+        ctx.start_job(queue[qi], alloc);
+      }
       any_start = true;
       profile_.sync(ctx);
       ++qi;
@@ -197,7 +220,8 @@ void MemAwareEasyScheduler::schedule(SchedContext& ctx) {
         queue.begin() + static_cast<std::ptrdiff_t>(qi),
         queue.begin() + static_cast<std::ptrdiff_t>(qi + depth));
     const auto baseline_mark = profile_.mark();
-    baseline_ = place_reservations(profile_, reserved_jobs_, ctx, options_);
+    baseline_ =
+        place_reservations(profile_, reserved_jobs_, ctx, options_, planning);
     profile_.rollback(baseline_mark);
   }
   // Fast pass: heads are still blocked and baseline_/reserved_jobs_ are
@@ -246,7 +270,7 @@ void MemAwareEasyScheduler::schedule(SchedContext& ctx) {
     const Job& cand = ctx.job(cid);
     const ResourceState state_now = profile_.state_at(now);
     ++stats_.plans_attempted;
-    auto take = compute_take(state_now, config, cand, ctx.placement());
+    auto take = compute_take(state_now, config, cand, planning);
     if (!take) continue;
 
     // Tier-headroom shield: skip backfills that would drain a pool tier
@@ -265,7 +289,7 @@ void MemAwareEasyScheduler::schedule(SchedContext& ctx) {
     // Adaptive veto: skip a backfill that spills to the global tier when a
     // rack-pool-fed start later would finish sooner anyway.
     if (options_.adaptive && !take->global_total().is_zero()) {
-      PlacementPolicy rack_only = ctx.placement();
+      PlacementPolicy rack_only = planning;
       rack_only.routing = PoolRouting::kRackOnly;
       const auto alt = evaluate_fit(profile_, cand, ctx, rack_only);
       const SimTime now_finish = now + cand.walltime.scaled(dil);
@@ -286,7 +310,7 @@ void MemAwareEasyScheduler::schedule(SchedContext& ctx) {
       // require that none regresses.
       const auto what_if_mark = profile_.mark();
       const std::vector<Reservation> fresh =
-          place_reservations(profile_, reserved_jobs_, ctx, options_);
+          place_reservations(profile_, reserved_jobs_, ctx, options_, planning);
       profile_.rollback(what_if_mark);
       accept = no_regression(baseline_, fresh);
     }
@@ -294,8 +318,21 @@ void MemAwareEasyScheduler::schedule(SchedContext& ctx) {
       profile_.rollback(mark);
       continue;
     }
-    const Allocation alloc = materialize(ctx.cluster(), cand, *take);
-    ctx.start_job(cid, alloc);
+    if (revalidate) {
+      // Replan against the live ledger with every axis on: a blind backfill
+      // must not start on an exhausted GPU rack or a full burst buffer.
+      const auto physical =
+          compute_take(snapshot(ctx.cluster()), config, cand, ctx.placement());
+      if (!physical) {
+        profile_.rollback(mark);
+        continue;
+      }
+      const Allocation alloc = materialize(ctx.cluster(), cand, *physical);
+      ctx.start_job(cid, alloc);
+    } else {
+      const Allocation alloc = materialize(ctx.cluster(), cand, *take);
+      ctx.start_job(cid, alloc);
+    }
     any_start = true;
   }
 

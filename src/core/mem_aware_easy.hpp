@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/resources.hpp"
 #include "sched/profile.hpp"
 #include "sched/scheduler.hpp"
 
@@ -56,6 +57,15 @@ struct MemAwareOptions {
   /// (Topology::headroom) and kept for the reserved queue front, which
   /// starts regardless. 0 (default) disables the shield.
   double reserve_headroom = 0.0;
+  /// Which optional resource axes this scheduler *plans* with. The default
+  /// is the paper's memory-only policy (plans see nodes + memory, blind to
+  /// GPUs and burst buffer); ResourceAxes::all() instantiates
+  /// resource-aware-EASY from the same template. On machines that provision
+  /// an axis the policy is blind to, every start is revalidated against the
+  /// full cluster ledger first — plans may be wrong, starts never are. On
+  /// legacy machines (no GPUs, no burst buffer) all instantiations are
+  /// byte-identical.
+  ResourceAxes axes = ResourceAxes::memory_only();
 };
 
 /// Memory-aware EASY backfilling (see file header).
@@ -81,7 +91,8 @@ class MemAwareEasyScheduler final : public Scheduler {
   explicit MemAwareEasyScheduler(MemAwareOptions options = {});
 
   [[nodiscard]] const char* name() const override {
-    return options_.adaptive ? "adaptive" : "mem-easy";
+    if (options_.adaptive) return "adaptive";
+    return options_.axes.all_on() ? "resource-easy" : "mem-easy";
   }
   [[nodiscard]] bool memory_aware() const override { return true; }
   [[nodiscard]] const SchedulerStats* stats() const override {

@@ -116,6 +116,14 @@ struct RunMetrics {
   /// aggregate rack utilization looks comfortable can still have one rack
   /// pinned at 100%; placement strategies differ exactly here.
   double rack_pool_busiest_peak = 0.0;
+  /// Mean/peak fraction of provisioned GPU devices in use. Zero on machines
+  /// without GPUs (absent axes never move the legacy golden tables).
+  double gpu_utilization = 0.0;
+  double gpu_peak = 0.0;
+  /// Mean/peak fraction of burst-buffer capacity reserved. Zero on machines
+  /// without a burst buffer.
+  double bb_utilization = 0.0;
+  double bb_peak = 0.0;
 
   // --- derived aggregates (filled by finalize()) -------------------------
   std::size_t completed = 0;

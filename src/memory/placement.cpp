@@ -27,6 +27,12 @@ std::int32_t TakePlan::node_total() const {
   return n;
 }
 
+std::int64_t TakePlan::gpu_total() const {
+  std::int64_t g = 0;
+  for (const auto& t : takes) g += t.gpus;
+  return g;
+}
+
 namespace {
 
 /// Rack visit order under a selection policy. Deterministic: ties break on
@@ -88,16 +94,34 @@ std::optional<TakePlan> compute_take(const ResourceState& state,
   plan.far_per_node = job.mem_per_node - plan.local_per_node;
   const Bytes d = plan.far_per_node;
 
+  // Optional axes. A policy blind to an axis plans as if the axis did not
+  // exist (the memory-only instantiation); zero-request jobs take the same
+  // code path either way, so legacy traces are byte-identical.
+  const std::int32_t g = policy.axes.gpus ? job.gpus_per_node : 0;
+  if (policy.axes.burst_buffer && job.bb_bytes > Bytes{0}) {
+    if (state.bb_free < job.bb_bytes) return std::nullopt;
+    plan.bb_bytes = job.bb_bytes;
+  }
+  // Per-rack takeable nodes under the GPU axis: each node taken in rack `r`
+  // draws `g` devices from that rack's pool.
+  const auto gpu_clamped = [&](std::size_t idx, std::int32_t free) {
+    if (g <= 0) return free;
+    return static_cast<std::int32_t>(std::min<std::int64_t>(
+        free, state.free_gpus_in(idx) / g));
+  };
+
   std::int32_t remaining = job.nodes;
   const auto order = rack_order(state, policy.selection, !d.is_zero());
 
   if (d.is_zero()) {
     for (RackId r : order) {
       if (remaining == 0) break;
-      const auto free = state.free_nodes[static_cast<std::size_t>(r)];
+      const auto idx = static_cast<std::size_t>(r);
+      const std::int32_t free = gpu_clamped(idx, state.free_nodes[idx]);
       const std::int32_t take = std::min(free, remaining);
       if (take > 0) {
-        plan.takes.push_back({r, take, Bytes{0}, Bytes{0}});
+        plan.takes.push_back(
+            {r, take, Bytes{0}, Bytes{0}, static_cast<std::int64_t>(take) * g});
         remaining -= take;
       }
     }
@@ -114,9 +138,9 @@ std::optional<TakePlan> compute_take(const ResourceState& state,
   for (RackId r : order) {
     if (remaining == 0) break;
     const auto idx = static_cast<std::size_t>(r);
-    std::int32_t free = state.free_nodes[idx];
+    std::int32_t free = gpu_clamped(idx, state.free_nodes[idx]);
     if (free == 0) continue;
-    RackTake take{r, 0, Bytes{0}, Bytes{0}};
+    RackTake take{r, 0, Bytes{0}, Bytes{0}, 0};
     if (rack_ok) {
       const auto pool_capacity_nodes = static_cast<std::int32_t>(std::min<std::int64_t>(
           state.pool_free[idx].count() / d.count(), free));
@@ -138,7 +162,10 @@ std::optional<TakePlan> compute_take(const ResourceState& state,
       global_node_budget -= via_global;
       remaining -= via_global;
     }
-    if (take.nodes > 0) plan.takes.push_back(take);
+    if (take.nodes > 0) {
+      take.gpus = static_cast<std::int64_t>(take.nodes) * g;
+      plan.takes.push_back(take);
+    }
   }
   if (remaining > 0) return std::nullopt;
   return plan;
@@ -150,7 +177,9 @@ bool can_apply(const ResourceState& state, const TakePlan& plan) {
     if (idx >= state.free_nodes.size()) return false;
     if (state.free_nodes[idx] < t.nodes) return false;
     if (state.pool_free[idx] < t.rack_pool_bytes) return false;
+    if (t.gpus > 0 && state.free_gpus_in(idx) < t.gpus) return false;
   }
+  if (plan.bb_bytes > Bytes{0} && state.bb_free < plan.bb_bytes) return false;
   return state.global_free >= plan.global_total();
 }
 
@@ -164,10 +193,21 @@ void apply_take(ResourceState& state, const TakePlan& plan) {
                    "apply_take: rack pool overcommit");
     state.free_nodes[idx] -= t.nodes;
     state.pool_free[idx] -= t.rack_pool_bytes;
+    if (t.gpus > 0) {
+      DMSCHED_ASSERT(idx < state.free_gpus.size() &&
+                         state.free_gpus[idx] >= t.gpus,
+                     "apply_take: rack GPU overcommit");
+      state.free_gpus[idx] -= t.gpus;
+    }
   }
   const Bytes g = plan.global_total();
   DMSCHED_ASSERT(state.global_free >= g, "apply_take: global pool overcommit");
   state.global_free -= g;
+  if (plan.bb_bytes > Bytes{0}) {
+    DMSCHED_ASSERT(state.bb_free >= plan.bb_bytes,
+                   "apply_take: burst buffer overcommit");
+    state.bb_free -= plan.bb_bytes;
+  }
 }
 
 void release_take(ResourceState& state, const TakePlan& plan) {
@@ -176,8 +216,13 @@ void release_take(ResourceState& state, const TakePlan& plan) {
     DMSCHED_ASSERT(idx < state.free_nodes.size(), "release_take: bad rack");
     state.free_nodes[idx] += t.nodes;
     state.pool_free[idx] += t.rack_pool_bytes;
+    if (t.gpus > 0) {
+      DMSCHED_ASSERT(idx < state.free_gpus.size(), "release_take: bad rack");
+      state.free_gpus[idx] += t.gpus;
+    }
   }
   state.global_free += plan.global_total();
+  state.bb_free += plan.bb_bytes;
 }
 
 bool feasible_on_empty(const ClusterConfig& config, const Job& job,
@@ -191,6 +236,12 @@ Allocation materialize(const Cluster& cluster, const Job& job,
   alloc.job = job.id;
   alloc.local_per_node = plan.local_per_node;
   alloc.far_per_node = plan.far_per_node;
+  // Physical requirements come from the job, not the plan: even a plan made
+  // by an axis-blind policy materializes into a full allocation, and the
+  // cluster ledger (Cluster::commit) enforces every axis on it. Schedulers
+  // that plan blind must revalidate before starting.
+  alloc.gpus_per_node = job.gpus_per_node;
+  alloc.bb_bytes = job.bb_bytes;
   Bytes global_bytes{};
   for (const auto& t : plan.takes) {
     auto ids = cluster.free_nodes_in_rack_lowest(t.rack, t.nodes);
@@ -212,6 +263,7 @@ TakePlan take_from(const Allocation& alloc, const ClusterConfig& config) {
   TakePlan take;
   take.local_per_node = alloc.local_per_node;
   take.far_per_node = alloc.far_per_node;
+  take.bb_bytes = alloc.bb_bytes;
   // Group nodes by rack, then attach this allocation's pool draws.
   std::map<RackId, RackTake> per_rack;
   for (NodeId n : alloc.nodes) {
@@ -219,6 +271,7 @@ TakePlan take_from(const Allocation& alloc, const ClusterConfig& config) {
     auto& t = per_rack[r];
     t.rack = r;
     ++t.nodes;
+    t.gpus += alloc.gpus_per_node;
   }
   Bytes global_bytes{};
   for (const auto& d : alloc.draws) {

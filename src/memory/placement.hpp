@@ -29,17 +29,21 @@ struct RackTake {
   std::int32_t nodes = 0;        ///< nodes taken in this rack
   Bytes rack_pool_bytes{};       ///< drawn from this rack's pool
   Bytes global_pool_bytes{};     ///< drawn from the global pool for these nodes
+  std::int64_t gpus = 0;         ///< devices drawn from this rack's GPU pool
 };
 
 /// A start decision in counted form (no node ids yet).
 struct TakePlan {
   Bytes local_per_node{};
   Bytes far_per_node{};
+  /// Burst-buffer reservation (cluster-global, like the global pool).
+  Bytes bb_bytes{};
   std::vector<RackTake> takes;
 
   [[nodiscard]] Bytes global_total() const;
   [[nodiscard]] Bytes rack_pool_total() const;
   [[nodiscard]] std::int32_t node_total() const;
+  [[nodiscard]] std::int64_t gpu_total() const;
 };
 
 /// Plan a start of `job` against `state`. Returns nullopt when the job

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "common/resources.hpp"
+
 namespace dmsched {
 
 /// How nodes are chosen across racks.
@@ -34,6 +36,14 @@ enum class PoolRouting {
 struct PlacementPolicy {
   NodeSelection selection = NodeSelection::kPoolAware;
   PoolRouting routing = PoolRouting::kRackThenGlobal;
+  /// Which optional resource axes the allocation kernel enforces. All-on by
+  /// default so direct starts (FCFS/EASY/conservative) respect GPU and
+  /// burst-buffer capacity automatically; a planning-blind policy (memory-
+  /// only mem-aware-EASY) narrows this for its *plans* while every actual
+  /// start is still validated against the full ledger. On machines without
+  /// GPUs or a burst buffer the axes are vacuous, so the default changes
+  /// nothing for legacy configs.
+  ResourceAxes axes{};
 };
 
 /// Named placement strategies — the topology studies' sweep axis. Each is a

@@ -32,7 +32,14 @@ ResourceState snapshot(const Cluster& cluster) {
     s.free_nodes.push_back(cluster.free_nodes_in_rack(r));
     s.pool_free.push_back(cluster.pool_free(r));
   }
+  if (cluster.config().has_gpus()) {
+    s.free_gpus.reserve(static_cast<std::size_t>(racks));
+    for (RackId r = 0; r < racks; ++r) {
+      s.free_gpus.push_back(cluster.free_gpus_in_rack(r));
+    }
+  }
   s.global_free = cluster.global_pool_free();
+  s.bb_free = cluster.bb_free();
   return s;
 }
 
@@ -43,7 +50,13 @@ ResourceState empty_state(const ClusterConfig& config) {
     s.free_nodes.push_back(config.rack_size(r));
     s.pool_free.push_back(config.pool_per_rack);
   }
+  if (config.has_gpus()) {
+    for (RackId r = 0; r < racks; ++r) {
+      s.free_gpus.push_back(config.rack_gpu_capacity(r));
+    }
+  }
   s.global_free = config.global_pool;
+  s.bb_free = config.bb_capacity;
   return s;
 }
 
@@ -71,6 +84,8 @@ TierHeadroom Topology::headroom(const ResourceState& state) const {
     h.rack_pool_free_max = max(h.rack_pool_free_max, free);
   }
   h.global_free = state.global_free;
+  for (const std::int64_t g : state.free_gpus) h.free_gpus += g;
+  h.bb_free = state.bb_free;
   return h;
 }
 

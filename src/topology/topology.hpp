@@ -46,9 +46,18 @@ constexpr std::size_t kMemoryTierCount = 3;
 struct ResourceState {
   std::vector<std::int32_t> free_nodes;  ///< per rack
   std::vector<Bytes> pool_free;          ///< per rack
+  /// Free GPU devices per rack. Empty on GPU-less machines (the legacy
+  /// shape) so existing states compare and copy byte-identically.
+  std::vector<std::int64_t> free_gpus;
   Bytes global_free{};
+  /// Free burst-buffer capacity (zero on machines without one).
+  Bytes bb_free{};
 
   [[nodiscard]] std::int32_t total_free_nodes() const;
+  /// Free GPUs in rack `r`; 0 when the machine has none.
+  [[nodiscard]] std::int64_t free_gpus_in(std::size_t r) const {
+    return r < free_gpus.size() ? free_gpus[r] : 0;
+  }
 };
 
 /// Current cluster state as a ResourceState.
@@ -63,6 +72,8 @@ struct TierHeadroom {
   Bytes rack_pool_free{};      ///< Σ free bytes across all rack pools
   Bytes rack_pool_free_max{};  ///< free bytes in the best-provisioned rack
   Bytes global_free{};
+  std::int64_t free_gpus = 0;  ///< Σ free GPU devices across all racks
+  Bytes bb_free{};             ///< free burst-buffer capacity
 
   [[nodiscard]] Bytes pool_free_total() const {
     return rack_pool_free + global_free;
@@ -104,6 +115,13 @@ class Topology {
   }
   /// Capacity of one tier across the machine (local = Σ node-local DRAM).
   [[nodiscard]] Bytes tier_capacity(MemoryTier t) const;
+
+  /// GPU devices owned by rack `r` (tiered like nodes: rack-pooled).
+  [[nodiscard]] std::int64_t rack_gpu_capacity(RackId r) const {
+    return config_.rack_gpu_capacity(r);
+  }
+  [[nodiscard]] std::int64_t total_gpus() const { return config_.total_gpus(); }
+  [[nodiscard]] Bytes bb_capacity() const { return config_.bb_capacity; }
 
   [[nodiscard]] bool has_rack_tier() const {
     return !config_.pool_per_rack.is_zero();

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "common/resources.hpp"
 #include "common/time.hpp"
 #include "common/units.hpp"
 
@@ -47,10 +48,28 @@ struct Job {
   MemSensitivity sensitivity = MemSensitivity::kBalanced;
   /// Originating user (trace statistics / fairness analyses).
   std::int32_t user = 0;
+  /// Accelerators per allocated node. Zero (the default) means the job does
+  /// not use GPUs — every legacy trace, SWF record, generator, and transform
+  /// is untouched in meaning.
+  std::int32_t gpus_per_node = 0;
+  /// Job-global burst-buffer reservation. Zero means no staging.
+  Bytes bb_bytes{};
+
+  /// The full typed request this job makes of the cluster.
+  [[nodiscard]] ResourceVector request() const {
+    return ResourceVector{.nodes = nodes,
+                          .mem_per_node = mem_per_node,
+                          .gpus_per_node = gpus_per_node,
+                          .bb_bytes = bb_bytes};
+  }
 
   /// Aggregate footprint across all nodes.
   [[nodiscard]] Bytes total_mem() const {
     return mem_per_node * nodes;
+  }
+  /// Aggregate GPU count across all nodes.
+  [[nodiscard]] std::int64_t total_gpus() const {
+    return static_cast<std::int64_t>(gpus_per_node) * nodes;
   }
   /// Requested node-seconds (walltime-based; what the scheduler reserves).
   [[nodiscard]] double requested_node_seconds() const {

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/resources.hpp"
 #include "workload/models.hpp"
 #include "workload/swf.hpp"
 #include "workload/transform.hpp"
@@ -57,6 +58,18 @@ ScenarioParams resolve(const ScenarioParams& params,
         "scenario rack_pool_frac must lie in [0, 1] (negative keeps the "
         "published split), got " + std::to_string(params.rack_pool_frac));
   }
+  // Resource-vector knobs: 0 keeps the published provisioning; negative is
+  // a caller error, never a sentinel.
+  if (r.gpus_per_node < 0) {
+    throw std::invalid_argument(
+        "scenario gpus_per_node must be >= 0 (0 keeps the published "
+        "provisioning), got " + std::to_string(params.gpus_per_node));
+  }
+  if (r.bb_capacity < Bytes{0}) {
+    throw std::invalid_argument(
+        "scenario bb_capacity must be >= 0 bytes (0 keeps the published "
+        "capacity), got " + std::to_string(params.bb_capacity.count()));
+  }
   return r;
 }
 
@@ -90,6 +103,11 @@ ClusterConfig scale_cluster(ClusterConfig c, const ScenarioParams& p) {
   // rack_pool_frac compose: scale the total, then split it.
   const TopologySpec spec{p.racks, p.rack_pool_frac};
   if (!spec.is_default()) c = apply(spec, std::move(c));
+  // Resource-vector knobs: non-zero overrides *replace* the published
+  // provisioning outright (they don't scale it), so any scenario can be
+  // re-run with GPUs or a burst buffer without a new registry entry.
+  if (p.gpus_per_node > 0) c.gpus_per_node = p.gpus_per_node;
+  if (!p.bb_capacity.is_zero()) c.bb_capacity = p.bb_capacity;
   return c;
 }
 
@@ -258,6 +276,83 @@ Scenario build_tiered_contended(const ScenarioParams& p) {
 }
 ScenarioStream stream_tiered_contended(const ScenarioParams& p) {
   return model_scenario_stream(tiered_contended_recipe(), p);
+}
+
+/// A mixed workload on a machine provisioning 4 rack-pooled GPUs per node
+/// (32 devices per 8-node rack). Memory is comfortable (96 GiB footprints on
+/// 96 GiB nodes plus pools), so the binding constraint is the device pool —
+/// the regime that separates the full resource vector from the memory-only
+/// view of the same scheduler.
+ModelRecipe gpu_contended_recipe() {
+  ClusterConfig c = make_cluster("gpu-contended", 32, 8, 96, 96, 96);
+  c.gpus_per_node = 4;
+  return {std::move(c), WorkloadModel::kMixed, gib(std::int64_t{96})};
+}
+/// Deterministic GPU decoration, keyed off static job fields (NOT the job
+/// id, which the eager Trace::make assigns only after this map runs — the
+/// streamed and eager constructions must agree field-for-field). Roughly
+/// half the jobs become accelerator jobs at the provisioned 4 GPUs/node;
+/// one in six of the narrow ones demands 8 GPUs/node — twice provisioning —
+/// so a rack's pooled devices drain faster than its nodes. The 8-GPU class
+/// is capped at 8 nodes (64 devices < the machine's 128) so no job is
+/// infeasible-on-empty. Identity on submit: order is preserved.
+Job decorate_gpu_contended(Job j) {
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(j.user) * 2654435761ULL +
+      static_cast<std::uint64_t>(j.nodes) * 40503ULL +
+      static_cast<std::uint64_t>(j.mem_per_node.count() >> 20);
+  if (key % 2 == 0) {
+    j.gpus_per_node = (j.nodes <= 8 && key % 6 == 0) ? 8 : 4;
+  }
+  return j;
+}
+Scenario build_gpu_contended(const ScenarioParams& p) {
+  Scenario s = model_scenario(gpu_contended_recipe(), p);
+  s.trace = map_trace(s.trace, decorate_gpu_contended);
+  return s;
+}
+ScenarioStream stream_gpu_contended(const ScenarioParams& p) {
+  ScenarioStream s = model_scenario_stream(gpu_contended_recipe(), p);
+  s.source = std::make_unique<MappedTraceSource>(std::move(s.source),
+                                                 &decorate_gpu_contended);
+  return s;
+}
+
+/// Capacity workload where a third of the jobs stage their footprint
+/// through a 256 GiB cluster-global burst buffer before running. Staging
+/// reservations (capped at 128 GiB per job, so only two of the largest can
+/// stage at once) gate the queue where nodes and memory would not — the
+/// cluster-global-axis counterpart of gpu-contended's rack-pooled axis.
+ModelRecipe bb_staging_recipe() {
+  ClusterConfig c = make_cluster("bb-staging", 32, 8, 96, 96, 96);
+  c.bb_capacity = gib(std::int64_t{256});
+  return {std::move(c), WorkloadModel::kCapacity, gib(std::int64_t{96})};
+}
+/// Deterministic BB decoration: every third job (by the same id-free static
+/// key as gpu-contended) reserves min(total footprint, 128 GiB) of burst
+/// buffer. 128 GiB < the 512 GiB capacity, so no job is rejected outright;
+/// identity on submit, so eager and streamed constructions agree.
+Job decorate_bb_staging(Job j) {
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(j.user) * 2654435761ULL +
+      static_cast<std::uint64_t>(j.nodes) * 40503ULL +
+      static_cast<std::uint64_t>(j.mem_per_node.count() >> 20);
+  if (key % 3 == 0) {
+    const Bytes footprint = checked_mul(j.mem_per_node, j.nodes);
+    j.bb_bytes = std::min(footprint, gib(std::int64_t{128}));
+  }
+  return j;
+}
+Scenario build_bb_staging(const ScenarioParams& p) {
+  Scenario s = model_scenario(bb_staging_recipe(), p);
+  s.trace = map_trace(s.trace, decorate_bb_staging);
+  return s;
+}
+ScenarioStream stream_bb_staging(const ScenarioParams& p) {
+  ScenarioStream s = model_scenario_stream(bb_staging_recipe(), p);
+  s.source = std::make_unique<MappedTraceSource>(std::move(s.source),
+                                                 &decorate_bb_staging);
+  return s;
 }
 
 /// The bundled SWF fixture (tests/data/sample.swf), embedded so the scenario
@@ -515,6 +610,23 @@ const std::vector<ScenarioEntry>& registry() {
         "fraction, larger makespan); global-fallback the reverse"},
        {500, 29, 1.05},
        &build_tiered_contended, &stream_tiered_contended},
+      {{"gpu-contended",
+        "mixed workload on a 4-GPU-per-node machine (rack-pooled devices) "
+        "where half the jobs are accelerator jobs and the narrow hungry ones "
+        "demand 8 GPUs/node: rack device pools drain before nodes do",
+        "sec. VI (multi-resource extension; tests/golden/multi_resource_test)",
+        "resource-easy ahead of the GPU-blind mem-easy (blind backfill picks "
+        "candidates whose starts then fail device revalidation)"},
+       {500, 31, 1.0},
+       &build_gpu_contended, &stream_gpu_contended},
+      {{"bb-staging",
+        "capacity workload where a third of the jobs reserve up to 128 GiB "
+        "of a 256 GiB cluster-global burst buffer for staging: BB "
+        "reservations, not nodes or memory, gate the queue",
+        "sec. VI (multi-resource extension)",
+        "resource-easy at or ahead of the BB-blind mem-easy; FCFS worst"},
+       {500, 37, 1.1},
+       &build_bb_staging, &stream_bb_staging},
       {{"mixed-swf",
         "the bundled 30-job SWF fixture replicated onto a 12-node machine "
         "with 12 GiB local memory (footprints reach 16 GiB)",

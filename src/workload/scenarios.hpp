@@ -63,6 +63,17 @@ struct ScenarioParams {
   /// must be > 0 otherwise. Resolved into Scenario::remote_penalty and
   /// applied to EngineOptions::slowdown by scenario_experiment().
   double remote_penalty = 0.0;
+
+  // --- resource-vector knobs (see common/resources.hpp) -------------------
+  /// Override the GPUs provisioned per node (rack-pooled devices; see
+  /// ClusterConfig::gpus_per_node). 0 keeps the scenario's published
+  /// provisioning — zero for every legacy scenario, so default params never
+  /// grow a GPU axis under an existing workload. Must be >= 0.
+  std::int32_t gpus_per_node = 0;
+  /// Override the cluster-global burst-buffer capacity. Zero keeps the
+  /// published capacity (no burst buffer for legacy scenarios). Must be
+  /// >= 0 bytes.
+  Bytes bb_capacity{};
 };
 
 /// Registry metadata: what a scenario is for, before paying to build it.

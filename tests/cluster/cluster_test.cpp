@@ -165,6 +165,104 @@ TEST(Cluster, AllocationAccessors) {
   EXPECT_EQ(a.global_draw_total(), gib(std::int64_t{16}));
 }
 
+// --- GPU / burst-buffer ledger (the resource-vector axes) -------------------
+
+Allocation resource_alloc(JobId id, std::vector<NodeId> nodes,
+                          std::int32_t gpus_per_node, Bytes bb = Bytes{0}) {
+  Allocation a = alloc_of(id, std::move(nodes), gib(std::int64_t{1}));
+  a.gpus_per_node = gpus_per_node;
+  a.bb_bytes = bb;
+  return a;
+}
+
+TEST(Cluster, GpuLedgerTracksRackPools) {
+  ClusterConfig cfg = testing::machine(16, 64.0);
+  cfg.gpus_per_node = 2;  // 4 racks × 4 nodes → 8 devices per rack
+  Cluster c(cfg);
+  EXPECT_EQ(c.free_gpus_in_rack(0), 8);
+  EXPECT_EQ(c.gpus_used_total(), 0);
+
+  // Rack-pooled: one node may hold more devices than its per-node share.
+  c.commit(resource_alloc(1, {0, 1}, 3));
+  EXPECT_EQ(c.gpus_used_in_rack(0), 6);
+  EXPECT_EQ(c.free_gpus_in_rack(0), 2);
+  EXPECT_EQ(c.free_gpus_in_rack(1), 8);  // other racks untouched
+  EXPECT_EQ(c.gpus_used_total(), 6);
+  c.audit();
+
+  c.release(1);
+  EXPECT_EQ(c.free_gpus_in_rack(0), 8);
+  EXPECT_EQ(c.gpus_used_total(), 0);
+  c.audit();
+}
+
+TEST(Cluster, GpuLedgerSplitsAcrossRacks) {
+  ClusterConfig cfg = testing::machine(16, 64.0);
+  cfg.gpus_per_node = 2;
+  Cluster c(cfg);
+  // Nodes 3 (rack 0) and 4 (rack 1): each rack funds its hosted nodes only.
+  c.commit(resource_alloc(1, {3, 4}, 2));
+  EXPECT_EQ(c.gpus_used_in_rack(0), 2);
+  EXPECT_EQ(c.gpus_used_in_rack(1), 2);
+  EXPECT_EQ(c.gpus_used_total(), 4);
+  c.audit();
+}
+
+TEST(Cluster, GpuOvercommitAborts) {
+  ClusterConfig cfg = testing::machine(16, 64.0);
+  cfg.gpus_per_node = 2;
+  Cluster c(cfg);
+  c.commit(resource_alloc(1, {0, 1}, 3));  // 6 of rack 0's 8 devices
+  EXPECT_DEATH(c.commit(resource_alloc(2, {2}, 3)),
+               "GPU pool overcommitted");
+}
+
+TEST(Cluster, GpuDemandOnGpuFreeMachineAborts) {
+  // The ledger refuses device demand the machine never provisioned
+  // (gpus_per_node == 0): blind policies cannot sneak devices in.
+  Cluster c(tiny_cluster());
+  EXPECT_DEATH(c.commit(resource_alloc(1, {0}, 1)), "GPU pool overcommitted");
+}
+
+TEST(Cluster, BurstBufferLedger) {
+  ClusterConfig cfg = testing::machine(8, 64.0);
+  cfg.bb_capacity = gib(std::int64_t{100});
+  Cluster c(cfg);
+  EXPECT_EQ(c.bb_free(), gib(std::int64_t{100}));
+
+  c.commit(resource_alloc(1, {0}, 0, gib(std::int64_t{60})));
+  c.commit(resource_alloc(2, {1}, 0, gib(std::int64_t{30})));
+  EXPECT_EQ(c.bb_used(), gib(std::int64_t{90}));
+  EXPECT_EQ(c.bb_free(), gib(std::int64_t{10}));
+  c.audit();
+
+  c.release(1);
+  EXPECT_EQ(c.bb_free(), gib(std::int64_t{70}));
+  c.audit();
+}
+
+TEST(Cluster, BurstBufferOvercommitAborts) {
+  ClusterConfig cfg = testing::machine(8, 64.0);
+  cfg.bb_capacity = gib(std::int64_t{100});
+  Cluster c(cfg);
+  c.commit(resource_alloc(1, {0}, 0, gib(std::int64_t{60})));
+  EXPECT_DEATH(c.commit(resource_alloc(2, {1}, 0, gib(std::int64_t{41}))),
+               "burst buffer overcommitted");
+}
+
+TEST(Cluster, ResourceAllocationAccessors) {
+  ClusterConfig cfg = testing::machine(16, 64.0);
+  cfg.gpus_per_node = 4;
+  Allocation a = alloc_of(1, {0, 1, 4}, gib(std::int64_t{1}));
+  a.gpus_per_node = 2;
+  EXPECT_EQ(a.gpu_total(), 6);
+  EXPECT_EQ(a.gpus_in_rack(cfg, 0), 4);  // nodes 0, 1
+  EXPECT_EQ(a.gpus_in_rack(cfg, 1), 2);  // node 4
+  EXPECT_EQ(a.gpus_in_rack(cfg, 2), 0);
+  EXPECT_EQ(cfg.rack_gpu_capacity(0), 16);
+  EXPECT_EQ(cfg.total_gpus(), 64);
+}
+
 TEST(Cluster, ManyCommitsAndReleasesStayConsistent) {
   Cluster c(tiny_cluster(gib(std::int64_t{64})));
   for (int round = 0; round < 50; ++round) {

@@ -57,6 +57,49 @@ TEST(Cli, FlagExplicitFalse) {
   EXPECT_FALSE(cli.get_flag("verbose"));
 }
 
+TEST(Cli, DuplicateOptionFails) {
+  // Repeating an option used to let the last occurrence win silently — a
+  // sweep script editing the wrong copy of a flag never noticed. Now every
+  // duplicate is rejected, in all three spellings.
+  {
+    Cli cli = make_cli();
+    const std::array argv{"prog", "--count=1", "--count=2"};
+    EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  }
+  {
+    Cli cli = make_cli();
+    const std::array argv{"prog", "--count", "1", "--count=2"};
+    EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  }
+  {
+    Cli cli = make_cli();
+    const std::array argv{"prog", "--verbose", "--verbose"};
+    EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  }
+  // Even repeating the identical value is rejected: the second occurrence
+  // is still an editing accident, just a lucky one.
+  {
+    Cli cli = make_cli();
+    const std::array argv{"prog", "--name=x", "--name=x"};
+    EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  }
+  // A bare flag followed by an explicit =false is also a duplicate.
+  {
+    Cli cli = make_cli();
+    const std::array argv{"prog", "--verbose", "--verbose=false"};
+    EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  }
+}
+
+TEST(Cli, DistinctOptionsDoNotCollide) {
+  Cli cli = make_cli();
+  const std::array argv{"prog", "--count=1", "--rate=2.5", "--verbose"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.get_int("count"), 1);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 2.5);
+  EXPECT_TRUE(cli.get_flag("verbose"));
+}
+
 TEST(Cli, UnknownOptionFails) {
   Cli cli = make_cli();
   const std::array argv{"prog", "--bogus=1"};

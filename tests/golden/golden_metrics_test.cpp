@@ -150,6 +150,7 @@ const char* kind_token(SchedulerKind kind) {
     case SchedulerKind::kConservative: return "kConservative";
     case SchedulerKind::kMemAwareEasy: return "kMemAwareEasy";
     case SchedulerKind::kAdaptive: return "kAdaptive";
+    case SchedulerKind::kResourceAwareEasy: return "kResourceAwareEasy";
   }
   return "?";
 }

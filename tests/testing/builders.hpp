@@ -47,6 +47,14 @@ class JobBuilder {
     job_.user = u;
     return *this;
   }
+  JobBuilder& gpus(std::int32_t per_node) {
+    job_.gpus_per_node = per_node;
+    return *this;
+  }
+  JobBuilder& bb_gib(double g) {
+    job_.bb_bytes = gib(g);
+    return *this;
+  }
 
   /// Finalize (defaults: 1 node, 1 GiB, 1 h runtime == walltime, t=0).
   [[nodiscard]] Job build() const {

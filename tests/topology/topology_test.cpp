@@ -7,6 +7,7 @@
 
 #include <stdexcept>
 
+#include "cluster/cluster.hpp"
 #include "testing/builders.hpp"
 
 namespace dmsched {
@@ -70,6 +71,62 @@ TEST(TopologyModel, HeadroomSumsTiersAcrossRacks) {
   EXPECT_EQ(h.free_nodes, 12);
   EXPECT_EQ(h.rack_pool_free, gib(std::int64_t{4 + 20 + 32 + 32}));
   EXPECT_EQ(h.rack_pool_free_max, gib(std::int64_t{32}));
+}
+
+TEST(TopologyModel, LegacyMachinesGetNoResourceAxes) {
+  // The no-regen contract at the state layer: on a machine provisioning no
+  // GPUs/burst buffer, snapshots carry an *empty* free_gpus vector and zero
+  // bb_free — byte-identical to the pre-resource-vector shape.
+  const ClusterConfig config = machine(16, 64.0, 32.0, 128.0);
+  const ResourceState s = empty_state(config);
+  EXPECT_TRUE(s.free_gpus.empty());
+  EXPECT_TRUE(s.bb_free.is_zero());
+  EXPECT_EQ(s.free_gpus_in(0), 0);  // safe accessor off the end
+  const Topology t(config);
+  const TierHeadroom h = t.headroom(s);
+  EXPECT_EQ(h.free_gpus, 0);
+  EXPECT_TRUE(h.bb_free.is_zero());
+}
+
+TEST(TopologyModel, ResourceAxesFlowIntoStateAndHeadroom) {
+  ClusterConfig config = machine(16, 64.0, 32.0, 128.0);
+  config.gpus_per_node = 2;
+  config.bb_capacity = gib(std::int64_t{50});
+  ResourceState s = empty_state(config);
+  ASSERT_EQ(s.free_gpus.size(), 4u);
+  EXPECT_EQ(s.free_gpus_in(0), 8);  // 4 nodes × 2 devices, rack-pooled
+  EXPECT_EQ(s.bb_free, gib(std::int64_t{50}));
+
+  const Topology t(config);
+  EXPECT_EQ(t.rack_gpu_capacity(0), 8);
+  EXPECT_EQ(t.total_gpus(), 32);
+  EXPECT_EQ(t.bb_capacity(), gib(std::int64_t{50}));
+
+  // Depletion shows up in the summed headroom.
+  s.free_gpus[0] = 1;
+  s.free_gpus[3] = 0;
+  s.bb_free = gib(std::int64_t{20});
+  const TierHeadroom h = t.headroom(s);
+  EXPECT_EQ(h.free_gpus, 1 + 8 + 8 + 0);
+  EXPECT_EQ(h.bb_free, gib(std::int64_t{20}));
+}
+
+TEST(TopologyModel, SnapshotMirrorsTheClusterGpuLedger) {
+  ClusterConfig config = machine(8, 64.0);
+  config.gpus_per_node = 2;
+  config.bb_capacity = gib(std::int64_t{40});
+  Cluster cluster(config);
+  Allocation a;
+  a.job = 1;
+  a.nodes = {0};
+  a.local_per_node = gib(std::int64_t{1});
+  a.gpus_per_node = 3;
+  a.bb_bytes = gib(std::int64_t{15});
+  cluster.commit(a);
+  const ResourceState s = snapshot(cluster);
+  EXPECT_EQ(s.free_gpus_in(0), 5);  // 8 pooled minus the 3 taken
+  EXPECT_EQ(s.free_gpus_in(1), 8);
+  EXPECT_EQ(s.bb_free, gib(std::int64_t{25}));
 }
 
 TEST(TopologySpec, DefaultSpecIsAnExactNoOp) {

@@ -39,10 +39,10 @@ void expect_same_trace(const Trace& a, const Trace& b) {
 TEST(ScenarioRegistry, ListsTheStandardLibrary) {
   const auto names = scenario_names();
   const std::vector<std::string> expected = {
-      "golden-baseline", "memory-stressed",   "pool-contended",
-      "bursty-arrivals", "wide-jobs",         "rack-local",
-      "tiered-contended", "mixed-swf",        "large-replay",
-      "million-replay"};
+      "golden-baseline",  "memory-stressed", "pool-contended",
+      "bursty-arrivals",  "wide-jobs",       "rack-local",
+      "tiered-contended", "gpu-contended",   "bb-staging",
+      "mixed-swf",        "large-replay",    "million-replay"};
   EXPECT_EQ(names, expected);
   for (const std::string& name : names) {
     EXPECT_TRUE(scenario_exists(name)) << name;
@@ -435,6 +435,81 @@ TEST(BurstyArrivalsScenario, ArrivalsLandOnBurstBoundaries) {
   }
   // More than one burst, or the scenario degenerated into a single spike.
   EXPECT_GT(s.trace.span().usec(), 0);
+}
+
+TEST(ResourceKnobs, GpuAndBbOverridesReshapeOnlyTheMachine) {
+  const Scenario base = make_scenario("tiered-contended");
+  EXPECT_EQ(base.cluster.gpus_per_node, 0);
+  EXPECT_TRUE(base.cluster.bb_capacity.is_zero());
+  const Scenario modded = make_scenario(
+      "tiered-contended",
+      {.gpus_per_node = 2, .bb_capacity = gib(std::int64_t{64})});
+  EXPECT_EQ(modded.cluster.gpus_per_node, 2);
+  EXPECT_EQ(modded.cluster.bb_capacity, gib(std::int64_t{64}));
+  EXPECT_TRUE(modded.cluster.has_gpus());
+  EXPECT_TRUE(modded.cluster.has_burst_buffer());
+  // The workload is untouched: provisioning knobs act on the machine, not
+  // the trace (no legacy job grows a GPU or BB demand).
+  expect_same_trace(base.trace, modded.trace);
+  for (const Job& j : modded.trace.jobs()) {
+    EXPECT_EQ(j.gpus_per_node, 0);
+    EXPECT_TRUE(j.bb_bytes.is_zero());
+  }
+}
+
+TEST(ResourceKnobs, NegativeValuesThrow) {
+  EXPECT_THROW(
+      (void)make_scenario("tiered-contended", {.gpus_per_node = -1}),
+      std::invalid_argument);
+  EXPECT_THROW((void)make_scenario("tiered-contended",
+                                   {.bb_capacity = Bytes{-1}}),
+               std::invalid_argument);
+}
+
+TEST(GpuContendedScenario, ProvisionsRackPooledGpusAndDecoratesJobs) {
+  const Scenario s = make_scenario("gpu-contended");
+  EXPECT_EQ(s.cluster.gpus_per_node, 4);
+  EXPECT_TRUE(s.cluster.has_gpus());
+  EXPECT_FALSE(s.cluster.has_burst_buffer());
+  std::size_t gpu_jobs = 0;
+  std::size_t over_provisioned = 0;
+  for (const Job& j : s.trace.jobs()) {
+    EXPECT_TRUE(j.gpus_per_node == 0 || j.gpus_per_node == 4 ||
+                j.gpus_per_node == 8)
+        << "job " << j.id << " has unexpected demand " << j.gpus_per_node;
+    EXPECT_TRUE(j.bb_bytes.is_zero());
+    if (j.gpus_per_node > 0) ++gpu_jobs;
+    if (j.gpus_per_node > s.cluster.gpus_per_node) {
+      ++over_provisioned;
+      // The over-provisioned class is width-capped so it stays feasible on
+      // the empty machine (8 nodes × 8 GPUs = 64 < 128 devices).
+      EXPECT_LE(j.nodes, 8);
+      EXPECT_LE(j.total_gpus(), s.cluster.total_gpus());
+    }
+  }
+  // The decoration must actually bite: a large accelerator population, some
+  // of it demanding beyond per-node provisioning (the contention source).
+  EXPECT_GT(gpu_jobs, s.trace.size() / 3);
+  EXPECT_GT(over_provisioned, 0u);
+  EXPECT_LT(gpu_jobs, s.trace.size());  // CPU-only jobs remain
+}
+
+TEST(BbStagingScenario, ReservesBoundedBurstBuffer) {
+  const Scenario s = make_scenario("bb-staging");
+  EXPECT_EQ(s.cluster.bb_capacity, gib(std::int64_t{256}));
+  EXPECT_TRUE(s.cluster.has_burst_buffer());
+  EXPECT_FALSE(s.cluster.has_gpus());
+  std::size_t staging = 0;
+  for (const Job& j : s.trace.jobs()) {
+    EXPECT_EQ(j.gpus_per_node, 0);
+    // Per-job reservations are capped below capacity so no job is rejected
+    // outright — contention, not infeasibility, is the scenario's point.
+    EXPECT_LE(j.bb_bytes, gib(std::int64_t{128}));
+    EXPECT_LT(j.bb_bytes, s.cluster.bb_capacity);
+    if (!j.bb_bytes.is_zero()) ++staging;
+  }
+  EXPECT_GT(staging, s.trace.size() / 6);
+  EXPECT_LT(staging, s.trace.size());  // non-staging jobs remain
 }
 
 }  // namespace

@@ -121,6 +121,8 @@ void expect_jobs_field_equal(const Trace& a, const Trace& b) {
     EXPECT_EQ(x.walltime.usec(), y.walltime.usec());
     EXPECT_EQ(x.sensitivity, y.sensitivity);
     EXPECT_EQ(x.user, y.user);
+    EXPECT_EQ(x.gpus_per_node, y.gpus_per_node);
+    EXPECT_EQ(x.bb_bytes.count(), y.bb_bytes.count());
   }
 }
 

@@ -149,6 +149,12 @@ int main(int argc, char** argv) {
   cli.add_double("remote-penalty", 0.0,
                  "with --scenario: multiplier on the remote-tier slowdown "
                  "coefficients (0 = published model)");
+  cli.add_int("gpus-per-node", 0,
+              "with --scenario: override the rack-pooled GPUs provisioned "
+              "per node (0 = published machine)");
+  cli.add_int("bb-capacity", 0,
+              "with --scenario: override the cluster-global burst-buffer "
+              "capacity (GiB; 0 = published machine)");
   cli.add_flag("list-scenarios", "list the scenario library and exit");
   cli.add_string("swf", "", "SWF trace file (overrides --workload)");
   cli.add_int("procs-per-node", 1, "SWF processors per node");
@@ -160,7 +166,7 @@ int main(int argc, char** argv) {
   cli.add_flag("exact-walltimes", "rewrite walltime requests to runtimes");
   // scheduler
   cli.add_string("scheduler", "mem-easy",
-                 "fcfs|easy|conservative|mem-easy|adaptive");
+                 "fcfs|easy|conservative|mem-easy|adaptive|resource-easy");
   cli.add_string("queue-order", "fcfs", "fcfs|sjf|largest|wfp");
   cli.add_string("placement", "",
                  "named placement strategy: local-first|balanced|"
@@ -295,6 +301,9 @@ int main(int argc, char** argv) {
     params.racks = static_cast<std::int32_t>(cli.get_int("racks"));
     params.rack_pool_frac = cli.get_double("rack-pool-frac");
     params.remote_penalty = cli.get_double("remote-penalty");
+    params.gpus_per_node =
+        static_cast<std::int32_t>(cli.get_int("gpus-per-node"));
+    params.bb_capacity = gib(cli.get_int("bb-capacity"));
     try {
       if (cli.get_flag("stream")) {
         stream = make_scenario_stream(name, params);
@@ -307,11 +316,13 @@ int main(int argc, char** argv) {
     }
   } else if (cli.provided("node-scale") || cli.provided("pool-scale") ||
              cli.provided("racks") || cli.provided("rack-pool-frac") ||
-             cli.provided("remote-penalty")) {
+             cli.provided("remote-penalty") || cli.provided("gpus-per-node") ||
+             cli.provided("bb-capacity")) {
     std::fprintf(stderr,
                  "error: --node-scale/--pool-scale/--racks/--rack-pool-frac/"
-                 "--remote-penalty only apply to --scenario machines (size "
-                 "custom machines with --nodes/--pool-gib)\n");
+                 "--remote-penalty/--gpus-per-node/--bb-capacity only apply "
+                 "to --scenario machines (size custom machines with "
+                 "--nodes/--pool-gib)\n");
     return 1;
   }
 
@@ -463,6 +474,13 @@ int main(int argc, char** argv) {
               format_bytes(config.cluster.local_mem_per_node).c_str(),
               format_bytes(config.cluster.pool_per_rack).c_str(),
               format_bytes(config.cluster.global_pool).c_str());
+  if (config.cluster.has_gpus() || config.cluster.has_burst_buffer()) {
+    std::printf("resource: %d GPUs/node (rack-pooled, %lld total), "
+                "%s burst buffer\n",
+                config.cluster.gpus_per_node,
+                static_cast<long long>(config.cluster.total_gpus()),
+                format_bytes(config.cluster.bb_capacity).c_str());
+  }
 
   // Passive observability: both attachments leave RunMetrics byte-identical
   // (tests/golden/trace_passivity_test.cpp), so they can ride along on any
@@ -525,6 +543,12 @@ int main(int argc, char** argv) {
               "global %.1f%%\n",
               100.0 * m.node_utilization, 100.0 * m.rack_pool_utilization,
               100.0 * m.rack_pool_peak, 100.0 * m.global_pool_utilization);
+  if (config.cluster.has_gpus() || config.cluster.has_burst_buffer()) {
+    std::printf("resource  GPUs %.1f%% (peak %.1f%%), burst buffer %.1f%% "
+                "(peak %.1f%%)\n",
+                100.0 * m.gpu_utilization, 100.0 * m.gpu_peak,
+                100.0 * m.bb_utilization, 100.0 * m.bb_peak);
+  }
   std::printf("far mem   %.1f%% of jobs, mean dilation %.3f, %.0f GiB·h\n",
               100.0 * m.frac_jobs_far, m.mean_dilation, m.far_gib_hours);
   std::printf("topology  remote access %.1f%% of bytes (global %.1f%%), "
