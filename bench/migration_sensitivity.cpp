@@ -1,0 +1,84 @@
+// Migration sensitivity — the three-tier extension of Figure 5.
+//
+// Two knobs the neighbor tier introduces, swept against each other on the
+// standard disaggregated machine under shared-neighbors placement:
+//
+//   β_neighbor   where the one-hop-further tier prices between β_rack
+//                (0.30) and β_global (0.45) — the distance grade itself;
+//   check_interval   how often the migration engine rebalances running
+//                jobs' bytes between the tiers (0 = migration off, the
+//                published-machine sentinel).
+//
+// Expected shape: pricing the neighbor tier near β_rack makes borrowing
+// nearly free and migration barely matters; near β_global the grade
+// collapses to two-tier pricing and demotion traffic rises. Faster scan
+// periods trade migration work for lower steady-state dilation.
+#include "bench_util.hpp"
+
+#include "topology/placement_policy.hpp"
+
+int main() {
+  using namespace dmsched;
+  using namespace dmsched::bench;
+
+  // β_neighbor from "priced like the own rack" to "priced like global".
+  const std::vector<double> neighbor_betas = {0.30, 0.3375, 0.375, 0.4125,
+                                              0.45};
+  const std::vector<double> intervals_min = {0.0, 60.0, 30.0, 15.0};
+  const ClusterConfig machine = disaggregated_config(128, 1024, 8192);
+  const Trace trace = eval_trace(WorkloadModel::kMixed);
+
+  ConsoleTable table(
+      "Migration sensitivity — three-tier beta grid (mixed workload, " +
+      machine.name + ")");
+  table.columns({"beta_nbr", "interval (min)", "mean bsld", "mean wait (h)",
+                 "mean dilation", "nbr access", "demote", "promote",
+                 "moves/h"});
+  auto csv = csv_for("migration_sensitivity");
+  csv.header({"beta_neighbor", "migrate_interval_min", "mean_bsld",
+              "p95_bsld", "mean_wait_h", "mean_dilation", "neighbor_access",
+              "global_access", "demotions", "promotions",
+              "migrations_per_hour"});
+
+  std::vector<ExperimentConfig> configs;
+  for (const double beta : neighbor_betas) {
+    for (const double interval : intervals_min) {
+      ExperimentConfig c = eval_config(machine, SchedulerKind::kMemAwareEasy,
+                                       WorkloadModel::kMixed);
+      c.engine.placement = make_placement(PlacementStrategy::kSharedNeighbors);
+      c.engine.slowdown.beta_neighbor = beta;
+      if (interval > 0.0) {
+        c.engine.migration.check_interval = minutes(interval);
+        c.engine.migration.bandwidth_gibps = 4.0;
+      }
+      configs.push_back(std::move(c));
+    }
+  }
+  const auto results = run_sweep_on_trace(configs, trace);
+
+  std::size_t i = 0;
+  for (const double beta : neighbor_betas) {
+    for (const double interval : intervals_min) {
+      const RunMetrics& m = results[i++];
+      table.row({f3(beta), interval > 0.0 ? f1(interval) : "off",
+                 f2(m.mean_bsld), f2(m.mean_wait_hours), f3(m.mean_dilation),
+                 pct(m.neighbor_access_fraction), num(m.demotions),
+                 num(m.promotions), f2(m.migrations_per_hour)});
+      csv.add(beta)
+          .add(interval)
+          .add(m.mean_bsld)
+          .add(m.p95_bsld)
+          .add(m.mean_wait_hours)
+          .add(m.mean_dilation)
+          .add(m.neighbor_access_fraction)
+          .add(m.global_access_fraction)
+          .add(static_cast<std::size_t>(m.demotions))
+          .add(static_cast<std::size_t>(m.promotions))
+          .add(m.migrations_per_hour);
+      csv.end_row();
+    }
+    table.separator();
+  }
+  table.print();
+  return 0;
+}

@@ -14,6 +14,11 @@ namespace dmsched {
 struct PoolDraw {
   RackId rack = kGlobalPoolRack;
   Bytes bytes{};
+  /// True when `rack` hosts none of the job's nodes — a distance-graded
+  /// *neighbor* draw (MemoryTier::kNeighborPool). Only the shared-neighbors
+  /// routing produces these; Cluster::commit still aborts on an unmarked
+  /// foreign draw, so legacy strict mode is unchanged.
+  bool neighbor = false;
 };
 
 /// A concrete resource grant for one job.
@@ -22,7 +27,9 @@ struct PoolDraw {
 ///  - `nodes` are distinct and free;
 ///  - `local_per_node <= cluster local capacity`;
 ///  - Σ draws == far_per_node · |nodes|;
-///  - each rack draw's rack actually hosts at least one allocated node.
+///  - each rack draw's rack hosts at least one allocated node, *unless* the
+///    draw is neighbor-marked — then the rack must host none (the marking
+///    and the hosting set must agree exactly).
 struct Allocation {
   JobId job = kInvalidJobId;
   std::vector<NodeId> nodes;
@@ -51,11 +58,19 @@ struct Allocation {
   [[nodiscard]] double far_fraction() const {
     return ratio(far_total(), mem_total());
   }
-  /// Far bytes drawn from rack pools only.
+  /// Far bytes drawn from the job's *own* racks' pools (hosting racks).
   [[nodiscard]] Bytes rack_draw_total() const {
     Bytes total{};
     for (const auto& d : draws) {
-      if (d.rack != kGlobalPoolRack) total += d.bytes;
+      if (d.rack != kGlobalPoolRack && !d.neighbor) total += d.bytes;
+    }
+    return total;
+  }
+  /// Far bytes drawn from foreign racks' pools (neighbor-marked draws).
+  [[nodiscard]] Bytes neighbor_draw_total() const {
+    Bytes total{};
+    for (const auto& d : draws) {
+      if (d.neighbor) total += d.bytes;
     }
     return total;
   }

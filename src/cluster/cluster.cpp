@@ -28,6 +28,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     rack_free_[static_cast<std::size_t>(r)] = config_.rack_size(r);
   }
   pool_used_.assign(static_cast<std::size_t>(config_.racks()), Bytes{0});
+  neighbor_used_.assign(static_cast<std::size_t>(config_.racks()), Bytes{0});
   gpu_used_.assign(static_cast<std::size_t>(config_.racks()), 0);
   free_total_ = config_.total_nodes;
 }
@@ -76,6 +77,17 @@ std::int64_t Cluster::gpus_used_in_rack(RackId r) const {
 std::int64_t Cluster::gpus_used_total() const {
   std::int64_t total = 0;
   for (const std::int64_t g : gpu_used_) total += g;
+  return total;
+}
+
+Bytes Cluster::neighbor_bytes_in_rack(RackId r) const {
+  DMSCHED_ASSERT(r >= 0 && r < config_.racks(), "rack id out of range");
+  return neighbor_used_[static_cast<std::size_t>(r)];
+}
+
+Bytes Cluster::neighbor_bytes_total() const {
+  Bytes total{};
+  for (const Bytes& b : neighbor_used_) total += b;
   return total;
 }
 
@@ -129,9 +141,13 @@ void Cluster::commit(const Allocation& alloc) {
                    "commit: node already occupied");
   }
 
-  // Rack draws must target racks hosting at least one of the job's nodes.
+  // Rack draws must target racks hosting at least one of the job's nodes —
+  // unless they are neighbor-marked, the validated distance-graded path:
+  // then the rack must host *none* (the marking and hosting set must agree
+  // exactly, so an unmarked foreign draw still aborts as before).
   for (const auto& d : alloc.draws) {
     if (d.rack == kGlobalPoolRack) {
+      DMSCHED_ASSERT(!d.neighbor, "commit: global draw marked as neighbor");
       DMSCHED_ASSERT(d.bytes <= global_pool_free(),
                      "commit: global pool overcommitted");
       continue;
@@ -142,7 +158,12 @@ void Cluster::commit(const Allocation& alloc) {
         std::any_of(alloc.nodes.begin(), alloc.nodes.end(), [&](NodeId n) {
           return config_.rack_of(n) == d.rack;
         });
-    DMSCHED_ASSERT(hosts_node, "commit: draw from a rack hosting no node");
+    if (d.neighbor) {
+      DMSCHED_ASSERT(!hosts_node,
+                     "commit: neighbor-marked draw from a hosting rack");
+    } else {
+      DMSCHED_ASSERT(hosts_node, "commit: draw from a rack hosting no node");
+    }
   }
 
   // GPU demand lands on the hosting racks' device pools; burst-buffer
@@ -177,6 +198,9 @@ void Cluster::commit(const Allocation& alloc) {
       global_used_ += d.bytes;
     } else {
       pool_used_[static_cast<std::size_t>(d.rack)] += d.bytes;
+      if (d.neighbor) {
+        neighbor_used_[static_cast<std::size_t>(d.rack)] += d.bytes;
+      }
     }
   }
   if (alloc.gpus_per_node > 0) {
@@ -206,6 +230,11 @@ Allocation Cluster::release(JobId job) {
       global_used_ -= d.bytes;
     } else {
       pool_used_[static_cast<std::size_t>(d.rack)] -= d.bytes;
+      if (d.neighbor) {
+        auto& held = neighbor_used_[static_cast<std::size_t>(d.rack)];
+        held -= d.bytes;
+        DMSCHED_ASSERT(held >= Bytes{0}, "release: neighbor ledger corrupt");
+      }
     }
   }
   if (alloc.gpus_per_node > 0) {
@@ -217,6 +246,77 @@ Allocation Cluster::release(JobId job) {
   }
   bb_used_ -= alloc.bb_bytes;
   return alloc;
+}
+
+void Cluster::retier(JobId job, std::vector<PoolDraw> new_draws) {
+  auto it = allocations_.find(job);
+  DMSCHED_ASSERT(it != allocations_.end(), "retier: job not running");
+  Allocation& alloc = it->second;
+
+  // Migration moves bytes between tiers; the far total is invariant.
+  Bytes new_sum{};
+  for (const auto& d : new_draws) {
+    DMSCHED_ASSERT(d.bytes > Bytes{0}, "retier: empty pool draw");
+    new_sum += d.bytes;
+  }
+  DMSCHED_ASSERT(new_sum == alloc.far_total(),
+                 "retier: new draws do not cover the far requirement");
+
+  // Validate against capacity *with the job's old draws returned* — a
+  // migration that shuffles bytes within the same pool must not trip on
+  // its own holdings.
+  std::vector<Bytes> pool_after(pool_used_);
+  Bytes global_after = global_used_;
+  for (const auto& d : alloc.draws) {
+    if (d.rack == kGlobalPoolRack) {
+      global_after -= d.bytes;
+    } else {
+      pool_after[static_cast<std::size_t>(d.rack)] -= d.bytes;
+    }
+  }
+  for (const auto& d : new_draws) {
+    if (d.rack == kGlobalPoolRack) {
+      DMSCHED_ASSERT(!d.neighbor, "retier: global draw marked as neighbor");
+      global_after += d.bytes;
+      continue;
+    }
+    DMSCHED_ASSERT(d.rack >= 0 && d.rack < config_.racks(),
+                   "retier: rack id out of range");
+    auto& used = pool_after[static_cast<std::size_t>(d.rack)];
+    used += d.bytes;
+    DMSCHED_ASSERT(used <= config_.pool_per_rack,
+                   "retier: rack pool overcommitted");
+    const bool hosts_node =
+        std::any_of(alloc.nodes.begin(), alloc.nodes.end(), [&](NodeId n) {
+          return config_.rack_of(n) == d.rack;
+        });
+    if (d.neighbor) {
+      DMSCHED_ASSERT(!hosts_node,
+                     "retier: neighbor-marked draw from a hosting rack");
+    } else {
+      DMSCHED_ASSERT(hosts_node, "retier: draw from a rack hosting no node");
+    }
+  }
+  DMSCHED_ASSERT(global_after <= config_.global_pool,
+                 "retier: global pool overcommitted");
+
+  // Apply: retire the old draws from the ledgers, land the new ones.
+  for (const auto& d : alloc.draws) {
+    if (d.rack == kGlobalPoolRack) continue;
+    if (d.neighbor) {
+      auto& held = neighbor_used_[static_cast<std::size_t>(d.rack)];
+      held -= d.bytes;
+      DMSCHED_ASSERT(held >= Bytes{0}, "retier: neighbor ledger corrupt");
+    }
+  }
+  pool_used_ = std::move(pool_after);
+  global_used_ = global_after;
+  for (const auto& d : new_draws) {
+    if (d.rack != kGlobalPoolRack && d.neighbor) {
+      neighbor_used_[static_cast<std::size_t>(d.rack)] += d.bytes;
+    }
+  }
+  alloc.draws = std::move(new_draws);
 }
 
 const Allocation* Cluster::find_allocation(JobId job) const {
@@ -249,6 +349,7 @@ void Cluster::audit() const {
   DMSCHED_ASSERT(rack_free == rack_free_, "audit: rack free-count drift");
 
   std::vector<Bytes> pool_used(pool_used_.size(), Bytes{0});
+  std::vector<Bytes> neighbor_used(neighbor_used_.size(), Bytes{0});
   std::vector<std::int64_t> gpu_used(gpu_used_.size(), 0);
   Bytes global_used{};
   Bytes bb_used{};
@@ -265,6 +366,14 @@ void Cluster::audit() const {
         global_used += d.bytes;
       } else {
         pool_used[static_cast<std::size_t>(d.rack)] += d.bytes;
+        const bool hosts_node = std::any_of(
+            alloc.nodes.begin(), alloc.nodes.end(),
+            [&](NodeId n) { return config_.rack_of(n) == d.rack; });
+        DMSCHED_ASSERT(d.neighbor != hosts_node,
+                       "audit: neighbor marking disagrees with hosting set");
+        if (d.neighbor) {
+          neighbor_used[static_cast<std::size_t>(d.rack)] += d.bytes;
+        }
       }
     }
     bb_used += alloc.bb_bytes;
@@ -272,6 +381,8 @@ void Cluster::audit() const {
   DMSCHED_ASSERT(global_used == global_used_, "audit: global pool drift");
   for (std::size_t r = 0; r < pool_used.size(); ++r) {
     DMSCHED_ASSERT(pool_used[r] == pool_used_[r], "audit: rack pool drift");
+    DMSCHED_ASSERT(neighbor_used[r] == neighbor_used_[r],
+                   "audit: neighbor ledger drift");
     DMSCHED_ASSERT(pool_used[r] <= config_.pool_per_rack,
                    "audit: rack pool overcommitted");
   }

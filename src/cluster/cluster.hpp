@@ -45,6 +45,11 @@ class Cluster {
   [[nodiscard]] Bytes busiest_rack_pool_used() const;
   /// Bytes currently drawn from the global pool.
   [[nodiscard]] Bytes global_pool_used() const { return global_used_; }
+  /// Bytes of rack `r`'s pool currently serving *foreign* jobs (neighbor
+  /// draws: jobs hosting no node in `r`). A subset of pool_used(r).
+  [[nodiscard]] Bytes neighbor_bytes_in_rack(RackId r) const;
+  /// Σ neighbor-marked bytes across all rack pools.
+  [[nodiscard]] Bytes neighbor_bytes_total() const;
   /// Free GPU devices in rack `r`'s pool (0 on GPU-less machines).
   [[nodiscard]] std::int64_t free_gpus_in_rack(RackId r) const;
   /// GPU devices currently held in rack `r`.
@@ -69,6 +74,14 @@ class Cluster {
   /// Release a job's allocation and return it. Aborts if not running.
   Allocation release(JobId job);
 
+  /// Rewrite a running job's pool draws in place — the migration engine's
+  /// transition. The new draw set must cover exactly the same far total as
+  /// the old one (migration moves bytes, it never changes the footprint),
+  /// fit the target pools' remaining capacity (with the job's old draws
+  /// released), and satisfy the same neighbor-marking consistency commit
+  /// enforces. Node occupancy, GPUs, and the burst buffer are untouched.
+  void retier(JobId job, std::vector<PoolDraw> new_draws);
+
   /// Allocation of a running job, if any.
   [[nodiscard]] const Allocation* find_allocation(JobId job) const;
 
@@ -85,6 +98,7 @@ class Cluster {
   std::vector<JobId> node_occupant_;       // per node
   std::vector<std::int32_t> rack_free_;    // per rack
   std::vector<Bytes> pool_used_;           // per rack
+  std::vector<Bytes> neighbor_used_;       // per rack: foreign-job subset
   std::vector<std::int64_t> gpu_used_;     // per rack
   Bytes global_used_{};
   Bytes bb_used_{};

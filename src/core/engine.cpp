@@ -114,6 +114,7 @@ SchedulingSimulation::SchedulingSimulation(ClusterConfig config,
       scheduler_(std::move(scheduler)),
       options_(options),
       cluster_(config_),
+      migration_(options_.migration),
       topology_(config_),
       timeline_(config_) {
   DMSCHED_ASSERT(scheduler_ != nullptr, "simulation needs a scheduler");
@@ -172,6 +173,10 @@ const SlowdownModel& SchedulingSimulation::slowdown() const {
 }
 
 const Topology& SchedulingSimulation::topology() const { return topology_; }
+
+MigrationPolicy SchedulingSimulation::migration() const {
+  return options_.migration;
+}
 
 const AvailabilityTimeline* SchedulingSimulation::timeline() const {
   return &timeline_;
@@ -234,6 +239,125 @@ void SchedulingSimulation::sample_series() {
     engine_.schedule_in(options_.sample_interval, sim::EventClass::kTimer,
                         [this](SimTime) { sample_series(); });
   }
+}
+
+void SchedulingSimulation::migration_check() {
+  // Plan over the running list in insertion order — the same deterministic
+  // order every other per-job walk uses.
+  const std::vector<MigrationDecision> moves =
+      migration_.plan(cluster_, running_.to_vector(rt_));
+  for (const MigrationDecision& m : moves) {
+    const SimTime latency = migration_.policy().latency_for(m.bytes);
+    if (latency > SimTime{0}) {
+      // Bandwidth-limited copy: the move lands bytes/bandwidth later, and
+      // the job is marked in flight so later scans skip it until it does.
+      migration_.on_dispatch(m.job);
+      engine_.schedule_in(latency, sim::EventClass::kMigration,
+                          [this, m](SimTime) { apply_migration(m, true); });
+    } else {
+      apply_migration(m, false);
+    }
+  }
+  if (live_jobs_ > 0) {
+    engine_.schedule_in(options_.migration.check_interval,
+                        sim::EventClass::kMigration,
+                        [this](SimTime) { migration_check(); });
+  }
+}
+
+void SchedulingSimulation::apply_migration(const MigrationDecision& decision,
+                                           bool delayed) {
+  if (delayed) migration_.on_applied(decision.job);
+  const JobId id = decision.job;
+  JobRuntime& r = rt_[id];
+  // The copy may have raced the job's completion (kCompletion pops before
+  // kMigration at one timestamp, so a finished job is already kDone here) —
+  // the move is moot. Skipping is deterministic: it depends only on event
+  // order.
+  if (r.state != JobState::kRunning) return;
+  const Allocation* alloc = cluster_.find_allocation(id);
+  DMSCHED_ASSERT(alloc != nullptr, "apply_migration: running job unledgered");
+  // Re-validate against the live ledger: other jobs started or finished
+  // while the copy was in flight, so the capacity plan() saw may be gone.
+  if (decision.kind == MigrationKind::kDemote) {
+    if (cluster_.global_pool_free() < decision.bytes) return;
+  } else {
+    const Bytes pool_free =
+        config_.pool_per_rack - cluster_.pool_used(decision.rack);
+    if (pool_free < decision.bytes) return;
+  }
+
+  window_advance();
+  const SimTime t = engine_.now();
+  digest_fold('M');
+  digest_fold(id);
+  digest_fold(static_cast<std::uint64_t>(t.usec()));
+  digest_fold(static_cast<std::uint64_t>(decision.kind));
+  digest_fold(static_cast<std::uint64_t>(decision.bytes.count()));
+
+  std::vector<PoolDraw> new_draws = rewrite_draws(*alloc, decision);
+  cluster_.retier(id, std::move(new_draws));
+  const Allocation* updated = cluster_.find_allocation(id);
+  const Job& j = job(id);
+  const double old_dilation = r.dilation;
+  const double new_dilation = options_.slowdown.dilation_for(*updated, j);
+
+  // Close the current dilation segment: bank the undilated work it covered,
+  // then reprice the remaining work at the new rate. The completion event
+  // moves accordingly (strictly later for a demotion, earlier for a
+  // promotion — never before now, because t < r.end while we are here).
+  r.work_done += (t - r.seg_start).scaled(1.0 / old_dilation);
+  r.seg_start = t;
+  const SimTime work_left = j.runtime - min(j.runtime, r.work_done);
+  SimTime actual_left = work_left.scaled(new_dilation);
+  r.killed = false;
+  if (options_.kill_on_walltime && t + actual_left > r.start + j.walltime) {
+    actual_left = r.start + j.walltime - t;
+    r.killed = true;
+  }
+  r.end = t + actual_left;
+  const SimTime old_expected = r.expected_end;
+  const SimTime wall_left = j.walltime - min(j.walltime, r.work_done);
+  r.expected_end = t + wall_left.scaled(new_dilation);
+
+  const bool cancelled = engine_.cancel(r.completion_event);
+  DMSCHED_ASSERT(cancelled, "apply_migration: completion already fired");
+  r.completion_event =
+      engine_.schedule_at(r.end, sim::EventClass::kCompletion,
+                          [this, id](SimTime) { handle_complete(id); });
+  // Refresh the availability timeline: the planning bound and the counted
+  // take both changed, so incremental passes must see a version bump.
+  timeline_.on_finish(id, old_expected);
+  r.dilation = new_dilation;
+  r.take = take_from_allocation(*updated, config_);
+  r.far_rack = updated->rack_draw_total();
+  r.far_neighbor = updated->neighbor_draw_total();
+  r.far_global = updated->global_draw_total();
+  timeline_.on_start(id, r.expected_end, r.take);
+
+  if (decision.kind == MigrationKind::kDemote) {
+    ++demotions_;
+    demoted_bytes_ += decision.bytes;
+  } else {
+    ++promotions_;
+    promoted_bytes_ += decision.bytes;
+  }
+  ++window_acc_.jobs_migrated;
+  window_acc_.migrated_gib += decision.bytes.gib();
+  if (options_.sink != nullptr) {
+    obs::JobMigrated ev;
+    ev.job = id;
+    ev.at = t;
+    ev.rack = decision.rack;
+    ev.demote = decision.kind == MigrationKind::kDemote;
+    ev.gib = decision.bytes.gib();
+    ev.dilation_before = old_dilation;
+    ev.dilation_after = new_dilation;
+    guarded_emit([&] { options_.sink->on_job_migrated(ev); });
+  }
+  if (options_.audit_cluster) cluster_.audit();
+  record_usage_change();
+  request_schedule_pass();
 }
 
 bool SchedulingSimulation::pull_one() {
@@ -537,9 +661,11 @@ void SchedulingSimulation::start_job(JobId id, const Allocation& alloc) {
 
   r.state = JobState::kRunning;
   r.start = engine_.now();
+  r.seg_start = r.start;
   r.dilation = options_.slowdown.dilation_for(alloc, j);
   r.take = take_from_allocation(alloc, config_);
   r.far_rack = alloc.rack_draw_total();
+  r.far_neighbor = alloc.neighbor_draw_total();
   r.far_global = alloc.global_draw_total();
   r.home_rack = config_.rack_of(alloc.nodes.front());
 
@@ -551,8 +677,9 @@ void SchedulingSimulation::start_job(JobId id, const Allocation& alloc) {
   r.end = engine_.now() + actual;
   r.expected_end = engine_.now() + j.walltime.scaled(r.dilation);
   timeline_.on_start(id, r.expected_end, r.take);
-  engine_.schedule_at(r.end, sim::EventClass::kCompletion,
-                      [this, id](SimTime) { handle_complete(id); });
+  r.completion_event =
+      engine_.schedule_at(r.end, sim::EventClass::kCompletion,
+                          [this, id](SimTime) { handle_complete(id); });
   if (options_.sink != nullptr) {
     obs::JobStarted ev;
     ev.job = id;
@@ -562,6 +689,7 @@ void SchedulingSimulation::start_job(JobId id, const Allocation& alloc) {
     ev.nodes = j.nodes;
     ev.dilation = r.dilation;
     ev.far_rack_gib = r.far_rack.gib();
+    ev.far_neighbor_gib = r.far_neighbor.gib();
     ev.far_global_gib = r.far_global.gib();
     guarded_emit([&] { options_.sink->on_job_started(ev); });
   }
@@ -577,6 +705,7 @@ void SchedulingSimulation::handle_complete(JobId id) {
 
   JobRuntime& r = rt_[id];
   DMSCHED_ASSERT(r.state == JobState::kRunning, "completion of a non-running job");
+  migration_.on_job_finished(id);
   cluster_.release(id);
   timeline_.on_finish(id, r.expected_end);
   if (options_.audit_cluster) cluster_.audit();
@@ -620,6 +749,11 @@ RunMetrics SchedulingSimulation::run() {
   if (options_.sample_interval > SimTime{0} && pulled_any_) {
     engine_.schedule_at(first_submit_, sim::EventClass::kTimer,
                         [this](SimTime) { sample_series(); });
+  }
+  if (options_.migration.enabled() && pulled_any_) {
+    engine_.schedule_at(first_submit_ + options_.migration.check_interval,
+                        sim::EventClass::kMigration,
+                        [this](SimTime) { migration_check(); });
   }
 
   engine_.run();
@@ -678,8 +812,13 @@ RunMetrics SchedulingSimulation::run() {
     o.end = r.end;
     o.dilation = r.dilation;
     o.far_rack = r.far_rack;
+    o.far_neighbor = r.far_neighbor;
     o.far_global = r.far_global;
   }
+  metrics_.demotions = demotions_;
+  metrics_.promotions = promotions_;
+  metrics_.demoted_gib = demoted_bytes_.gib();
+  metrics_.promoted_gib = promoted_bytes_.gib();
   metrics_.finalize();
 
   if (options_.sink != nullptr) {
@@ -715,6 +854,12 @@ void SchedulingSimulation::fill_counters() {
   reg.counter("jobs_completed").add(completed);
   reg.counter("jobs_killed").add(killed);
   reg.counter("jobs_rejected").add(rejected);
+  if (options_.migration.enabled()) {
+    // Gated on the knob so a migration-off counters dump stays identical to
+    // the pre-migration format.
+    reg.counter("migrations_demoted").add(demotions_);
+    reg.counter("migrations_promoted").add(promotions_);
+  }
   if (const SchedulerStats* stats = scheduler_->stats()) {
     reg.counter("sched_fast_passes").add(stats->fast_passes);
     reg.counter("sched_jobs_examined").add(stats->jobs_examined);

@@ -12,6 +12,7 @@
 #include "core/metrics.hpp"
 #include "memory/placement.hpp"
 #include "memory/slowdown.hpp"
+#include "migration/migration.hpp"
 #include "obs/trace_sink.hpp"
 #include "topology/topology.hpp"
 #include "sched/profile.hpp"
@@ -50,6 +51,10 @@ struct EngineOptions {
   /// Emit windowed metrics checkpoints at this interval (0 = disabled).
   /// Passive: enabling it injects no events and perturbs nothing.
   SimTime checkpoint_interval{};
+  /// Live tier migration (migration/). The default is the 0-sentinel: a zero
+  /// check_interval schedules no events, so every published machine stays
+  /// byte-identical with migration off.
+  MigrationPolicy migration{};
   /// Passive observability (obs/): when non-null the engine emits job
   /// lifecycle spans, scheduler pass spans, and gauge samples into the sink
   /// at `trace_detail` granularity. Null = zero overhead: every emission
@@ -106,6 +111,7 @@ class SchedulingSimulation final : public SchedContext {
   [[nodiscard]] PlacementPolicy placement() const override;
   [[nodiscard]] const SlowdownModel& slowdown() const override;
   [[nodiscard]] const Topology& topology() const override;
+  [[nodiscard]] MigrationPolicy migration() const override;
   [[nodiscard]] const AvailabilityTimeline* timeline() const override;
   [[nodiscard]] bool queue_order_stable() const override;
   [[nodiscard]] std::uint64_t queue_tail_epoch() const override;
@@ -169,7 +175,15 @@ class SchedulingSimulation final : public SchedContext {
     bool killed = false;
     TakePlan take;
     Bytes far_rack{};
+    Bytes far_neighbor{};
     Bytes far_global{};
+    /// Undilated work completed in finished dilation segments (a migration
+    /// re-price closes a segment; jobs that never migrate keep 0 here).
+    SimTime work_done{};
+    /// When the current dilation segment opened (start, or the last re-price).
+    SimTime seg_start{};
+    /// The pending completion event, cancelled + rescheduled on re-price.
+    sim::EventId completion_event = sim::kInvalidEventId;
     /// Rack of the first allocated node — the trace track the job's run
     /// span lives on (obs/).
     std::int32_t home_rack = 0;
@@ -207,6 +221,14 @@ class SchedulingSimulation final : public SchedContext {
 
   void handle_submit(JobId id);
   void handle_complete(JobId id);
+  /// Periodic kMigration event: plan moves over the running list (insertion
+  /// order — deterministic), dispatch each (delayed by the bandwidth knob or
+  /// applied in place), then self-reschedule while jobs are live.
+  void migration_check();
+  /// Land one move: re-validate against the live ledger (the copy may have
+  /// raced a completion), retier the draws, and re-price the job's slowdown
+  /// — rescheduling its completion for the remaining work at the new rate.
+  void apply_migration(const MigrationDecision& decision, bool delayed);
   void request_schedule_pass();
   /// The body of a kSchedule event: runs the scheduler, and — only when a
   /// sink or counter registry is attached — wraps it with span/gauge
@@ -247,6 +269,7 @@ class SchedulingSimulation final : public SchedContext {
 
   sim::Engine engine_;
   Cluster cluster_;
+  MigrationEngine migration_;
   Topology topology_;  ///< the machine's rack-scale memory model
   /// Persistent availability view, updated push-style on start/finish —
   /// the structure incremental scheduler passes key their caches on.
@@ -294,6 +317,12 @@ class SchedulingSimulation final : public SchedContext {
   SimTime window_frontier_{};       ///< state integrated up to here
   std::int64_t window_index_ = 0;   ///< index of the open window
   MetricsWindow window_acc_;        ///< the open window's accumulator
+
+  // --- migration totals (assembled into RunMetrics after the run) ----------
+  std::uint64_t demotions_ = 0;
+  std::uint64_t promotions_ = 0;
+  Bytes demoted_bytes_{};
+  Bytes promoted_bytes_{};
 
   RunMetrics metrics_;
   TimeWeightedMean busy_nodes_tw_;

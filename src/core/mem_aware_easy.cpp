@@ -43,15 +43,15 @@ std::optional<FitChoice> evaluate_fit(const FreeProfile& profile,
                                       PlacementPolicy policy) {
   const auto duration_of = [&](const TakePlan& plan) {
     const double dil = ctx.slowdown().dilation_bytes(
-        plan.rack_pool_total(), plan.global_total(), job.total_mem(),
-        job.sensitivity);
+        plan.rack_pool_total(), plan.neighbor_pool_total(),
+        plan.global_total(), job.total_mem(), job.sensitivity);
     return job.walltime.scaled(dil);
   };
   auto fit = profile.earliest_fit_window(job, policy, duration_of);
   if (!fit) return std::nullopt;
   const double dil = ctx.slowdown().dilation_bytes(
-      fit->plan.rack_pool_total(), fit->plan.global_total(), job.total_mem(),
-      job.sensitivity);
+      fit->plan.rack_pool_total(), fit->plan.neighbor_pool_total(),
+      fit->plan.global_total(), job.total_mem(), job.sensitivity);
   FitChoice choice{std::move(*fit), dil, SimTime{}};
   choice.finish_bound = choice.fit.time + job.walltime.scaled(dil);
   return choice;
@@ -116,7 +116,7 @@ bool leaves_tier_headroom(const SchedContext& ctx, const ResourceState& state,
   if (topo.has_rack_tier()) {
     const Bytes floor{static_cast<std::int64_t>(
         static_cast<double>(topo.rack_tier_capacity().count()) * reserve)};
-    if (head.rack_pool_free - min(head.rack_pool_free, take.rack_pool_total())
+    if (head.rack_pool_free - min(head.rack_pool_free, take.rack_tier_total())
         < floor) {
       return false;
     }
@@ -283,8 +283,8 @@ void MemAwareEasyScheduler::schedule(SchedContext& ctx) {
     }
 
     const double dil = ctx.slowdown().dilation_bytes(
-        take->rack_pool_total(), take->global_total(), cand.total_mem(),
-        cand.sensitivity);
+        take->rack_pool_total(), take->neighbor_pool_total(),
+        take->global_total(), cand.total_mem(), cand.sensitivity);
 
     // Adaptive veto: skip a backfill that spills to the global tier when a
     // rack-pool-fed start later would finish sooner anyway.

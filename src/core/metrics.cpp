@@ -22,6 +22,7 @@ void RunMetrics::finalize() {
   std::size_t global_jobs = 0;
   Bytes footprint_total{};
   Bytes far_bytes_total{};
+  Bytes neighbor_bytes_total{};
   Bytes global_bytes_total{};
   far_gib_hours = 0.0;
   for (const JobOutcome& j : jobs) {
@@ -44,6 +45,7 @@ void RunMetrics::finalize() {
     if (!j.far_global.is_zero()) ++global_jobs;
     footprint_total += j.mem_per_node * j.nodes;
     far_bytes_total += j.far_total();
+    neighbor_bytes_total += j.far_neighbor;
     global_bytes_total += j.far_global;
     far_gib_hours += j.far_total().gib() * (j.end - j.start).hours();
   }
@@ -61,10 +63,15 @@ void RunMetrics::finalize() {
           ? 0.0
           : static_cast<double>(global_jobs) / static_cast<double>(started);
   remote_access_fraction = ratio(far_bytes_total, footprint_total);
+  neighbor_access_fraction = ratio(neighbor_bytes_total, footprint_total);
   global_access_fraction = ratio(global_bytes_total, footprint_total);
   jobs_per_hour = makespan.hours() <= 0.0
                       ? 0.0
                       : static_cast<double>(completed) / makespan.hours();
+  migrations_per_hour =
+      makespan.hours() <= 0.0
+          ? 0.0
+          : static_cast<double>(demotions + promotions) / makespan.hours();
 }
 
 }  // namespace dmsched

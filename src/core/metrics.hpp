@@ -30,8 +30,13 @@ struct JobOutcome {
   SimTime end{};
   /// Runtime dilation factor its allocation incurred (1.0 = all-local).
   double dilation = 1.0;
-  /// Far bytes drawn from rack pools / the global pool.
+  /// Far bytes drawn from hosting-rack pools / neighbor-rack pools / the
+  /// global pool. Final placement: migration re-tiers move bytes between
+  /// these before the job ends. Neighbor is zero unless the placement
+  /// routes cross-rack (rack-neighbor-global), so legacy tables are
+  /// unchanged.
   Bytes far_rack{};
+  Bytes far_neighbor{};
   Bytes far_global{};
   // Static job properties copied for breakdown tables:
   std::int32_t nodes = 0;
@@ -46,7 +51,9 @@ struct JobOutcome {
   /// Using the undilated denominator charges the dilation penalty to the
   /// metric, which is what a disaggregation study must measure.
   [[nodiscard]] double bounded_slowdown() const;
-  [[nodiscard]] Bytes far_total() const { return far_rack + far_global; }
+  [[nodiscard]] Bytes far_total() const {
+    return far_rack + far_neighbor + far_global;
+  }
   [[nodiscard]] bool used_far_memory() const { return !far_total().is_zero(); }
 };
 
@@ -70,6 +77,9 @@ struct MetricsWindow {
   std::size_t jobs_started = 0;
   std::size_t jobs_finished = 0;
   std::size_t jobs_rejected = 0;
+  /// Tier moves applied in the window (0 everywhere with migration off).
+  std::size_t jobs_migrated = 0;
+  double migrated_gib = 0.0;
 
   [[nodiscard]] double width_seconds() const { return (end - start).seconds(); }
   /// Mean busy nodes over the window (0 for a zero-width window).
@@ -147,6 +157,18 @@ struct RunMetrics {
   double far_gib_hours = 0.0;
   /// Throughput: completed jobs per hour of makespan.
   double jobs_per_hour = 0.0;
+
+  // --- migration (all zero with the default no-op policy) ----------------
+  /// Tier moves applied: demotions (rack → global) and promotions (back).
+  std::size_t demotions = 0;
+  std::size_t promotions = 0;
+  double demoted_gib = 0.0;
+  double promoted_gib = 0.0;
+  /// Move rate over the makespan (filled by finalize()).
+  double migrations_per_hour = 0.0;
+  /// Σ neighbor-tier bytes / Σ footprint bytes over started jobs — the
+  /// distance-graded middle hop's share (filled by finalize()).
+  double neighbor_access_fraction = 0.0;
 
   /// Compute the derived aggregates from `jobs`. Call once after the run.
   void finalize();

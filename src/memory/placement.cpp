@@ -21,6 +21,12 @@ Bytes TakePlan::rack_pool_total() const {
   return total;
 }
 
+Bytes TakePlan::neighbor_pool_total() const {
+  Bytes total{};
+  for (const auto& t : takes) total += t.neighbor_pool_bytes;
+  return total;
+}
+
 std::int32_t TakePlan::node_total() const {
   std::int32_t n = 0;
   for (const auto& t : takes) n += t.nodes;
@@ -132,8 +138,12 @@ std::optional<TakePlan> compute_take(const ResourceState& state,
   // Deficit job: nodes must be funded at d bytes each from some pool.
   const bool rack_ok = policy.routing != PoolRouting::kGlobalOnly;
   const bool global_ok = policy.routing != PoolRouting::kRackOnly;
+  // Under the distance-graded routing the global tier is a *last* resort
+  // behind foreign rack pools, so the main loop funds rack-only and stage 2
+  // below walks the remaining deficit outward by hop distance.
+  const bool neighbor_ok = policy.routing == PoolRouting::kRackNeighborGlobal;
   std::int64_t global_node_budget =
-      global_ok ? state.global_free.count() / d.count() : 0;
+      (global_ok && !neighbor_ok) ? state.global_free.count() / d.count() : 0;
 
   for (RackId r : order) {
     if (remaining == 0) break;
@@ -167,6 +177,73 @@ std::optional<TakePlan> compute_take(const ResourceState& state,
       plan.takes.push_back(take);
     }
   }
+
+  if (neighbor_ok && remaining > 0) {
+    // Stage 2 of the distance-graded routing. Nodes first: the hosting set
+    // must be final before any draw can be classified own-rack vs neighbor.
+    const std::size_t racks_n = state.free_nodes.size();
+    std::vector<std::int32_t> taken_nodes(racks_n, 0);
+    std::vector<Bytes> taken_pool(racks_n, Bytes{0});
+    std::vector<std::ptrdiff_t> slot(racks_n, -1);
+    for (std::size_t i = 0; i < plan.takes.size(); ++i) {
+      const auto idx = static_cast<std::size_t>(plan.takes[i].rack);
+      slot[idx] = static_cast<std::ptrdiff_t>(i);
+      taken_nodes[idx] = plan.takes[i].nodes;
+      taken_pool[idx] = plan.takes[i].rack_pool_bytes;
+    }
+    const auto slice = [&](std::size_t idx) -> RackTake& {
+      if (slot[idx] < 0) {
+        plan.takes.push_back({static_cast<RackId>(idx), 0, Bytes{0}, Bytes{0},
+                              0, Bytes{0}});
+        slot[idx] = static_cast<std::ptrdiff_t>(plan.takes.size()) - 1;
+      }
+      return plan.takes[static_cast<std::size_t>(slot[idx])];
+    };
+    std::int32_t placed = 0;
+    for (RackId r : order) {
+      if (remaining == 0) break;
+      const auto idx = static_cast<std::size_t>(r);
+      const std::int32_t avail =
+          gpu_clamped(idx, state.free_nodes[idx]) - taken_nodes[idx];
+      const std::int32_t take_n = std::min(avail, remaining);
+      if (take_n <= 0) continue;
+      slice(idx).nodes += take_n;
+      taken_nodes[idx] += take_n;
+      placed += take_n;
+      remaining -= take_n;
+    }
+    if (remaining > 0) return std::nullopt;
+    // Fund the stage-2 deficit outward by hop distance: hosting racks'
+    // residual pools, then foreign (neighbor) racks' pools, then the
+    // global tier. Rack-index order within each ring keeps it deterministic.
+    Bytes deficit = d * placed;
+    for (std::size_t idx = 0; idx < racks_n && deficit > Bytes{0}; ++idx) {
+      if (taken_nodes[idx] == 0) continue;
+      const Bytes use = min(state.pool_free[idx] - taken_pool[idx], deficit);
+      if (use > Bytes{0}) {
+        slice(idx).rack_pool_bytes += use;
+        taken_pool[idx] += use;
+        deficit -= use;
+      }
+    }
+    for (std::size_t idx = 0; idx < racks_n && deficit > Bytes{0}; ++idx) {
+      if (taken_nodes[idx] != 0) continue;
+      const Bytes use = min(state.pool_free[idx] - taken_pool[idx], deficit);
+      if (use > Bytes{0}) {
+        slice(idx).neighbor_pool_bytes += use;
+        taken_pool[idx] += use;
+        deficit -= use;
+      }
+    }
+    if (deficit > Bytes{0}) {
+      if (state.global_free < deficit) return std::nullopt;
+      plan.takes.front().global_pool_bytes += deficit;
+    }
+    for (auto& t : plan.takes) {
+      t.gpus = static_cast<std::int64_t>(t.nodes) * g;
+    }
+  }
+
   if (remaining > 0) return std::nullopt;
   return plan;
 }
@@ -176,7 +253,9 @@ bool can_apply(const ResourceState& state, const TakePlan& plan) {
     const auto idx = static_cast<std::size_t>(t.rack);
     if (idx >= state.free_nodes.size()) return false;
     if (state.free_nodes[idx] < t.nodes) return false;
-    if (state.pool_free[idx] < t.rack_pool_bytes) return false;
+    if (state.pool_free[idx] < t.rack_pool_bytes + t.neighbor_pool_bytes) {
+      return false;
+    }
     if (t.gpus > 0 && state.free_gpus_in(idx) < t.gpus) return false;
   }
   if (plan.bb_bytes > Bytes{0} && state.bb_free < plan.bb_bytes) return false;
@@ -189,10 +268,11 @@ void apply_take(ResourceState& state, const TakePlan& plan) {
     DMSCHED_ASSERT(idx < state.free_nodes.size(), "apply_take: bad rack");
     DMSCHED_ASSERT(state.free_nodes[idx] >= t.nodes,
                    "apply_take: node overcommit");
-    DMSCHED_ASSERT(state.pool_free[idx] >= t.rack_pool_bytes,
+    DMSCHED_ASSERT(state.pool_free[idx] >=
+                       t.rack_pool_bytes + t.neighbor_pool_bytes,
                    "apply_take: rack pool overcommit");
     state.free_nodes[idx] -= t.nodes;
-    state.pool_free[idx] -= t.rack_pool_bytes;
+    state.pool_free[idx] -= t.rack_pool_bytes + t.neighbor_pool_bytes;
     if (t.gpus > 0) {
       DMSCHED_ASSERT(idx < state.free_gpus.size() &&
                          state.free_gpus[idx] >= t.gpus,
@@ -215,7 +295,7 @@ void release_take(ResourceState& state, const TakePlan& plan) {
     const auto idx = static_cast<std::size_t>(t.rack);
     DMSCHED_ASSERT(idx < state.free_nodes.size(), "release_take: bad rack");
     state.free_nodes[idx] += t.nodes;
-    state.pool_free[idx] += t.rack_pool_bytes;
+    state.pool_free[idx] += t.rack_pool_bytes + t.neighbor_pool_bytes;
     if (t.gpus > 0) {
       DMSCHED_ASSERT(idx < state.free_gpus.size(), "release_take: bad rack");
       state.free_gpus[idx] += t.gpus;
@@ -251,6 +331,9 @@ Allocation materialize(const Cluster& cluster, const Job& job,
     if (t.rack_pool_bytes > Bytes{0}) {
       alloc.draws.push_back({t.rack, t.rack_pool_bytes});
     }
+    if (t.neighbor_pool_bytes > Bytes{0}) {
+      alloc.draws.push_back({t.rack, t.neighbor_pool_bytes, /*neighbor=*/true});
+    }
     global_bytes += t.global_pool_bytes;
   }
   if (global_bytes > Bytes{0}) {
@@ -277,9 +360,17 @@ TakePlan take_from(const Allocation& alloc, const ClusterConfig& config) {
   for (const auto& d : alloc.draws) {
     if (d.rack == kGlobalPoolRack) {
       global_bytes += d.bytes;
+    } else if (d.neighbor) {
+      // A neighbor draw's source rack hosts none of the job's nodes; it
+      // gets its own node-less slice so profiles debit the right pool.
+      auto& t = per_rack[d.rack];
+      DMSCHED_ASSERT(t.nodes == 0,
+                     "neighbor draw from a rack hosting the allocation's nodes");
+      t.rack = d.rack;
+      t.neighbor_pool_bytes += d.bytes;
     } else {
       auto it = per_rack.find(d.rack);
-      DMSCHED_ASSERT(it != per_rack.end(),
+      DMSCHED_ASSERT(it != per_rack.end() && it->second.nodes > 0,
                      "allocation draws from a rack hosting none of its nodes");
       it->second.rack_pool_bytes += d.bytes;
     }

@@ -30,6 +30,10 @@ struct RackTake {
   Bytes rack_pool_bytes{};       ///< drawn from this rack's pool
   Bytes global_pool_bytes{};     ///< drawn from the global pool for these nodes
   std::int64_t gpus = 0;         ///< devices drawn from this rack's GPU pool
+  /// Drawn from this rack's pool for a job hosting *no* node here — a
+  /// distance-graded neighbor draw (shared-neighbors routing only). Such a
+  /// slice may carry `nodes == 0`; it still debits this rack's pool.
+  Bytes neighbor_pool_bytes{};
 };
 
 /// A start decision in counted form (no node ids yet).
@@ -42,6 +46,12 @@ struct TakePlan {
 
   [[nodiscard]] Bytes global_total() const;
   [[nodiscard]] Bytes rack_pool_total() const;
+  [[nodiscard]] Bytes neighbor_pool_total() const;
+  /// Everything drawn from the rack *tier* (own-rack + neighbor draws) —
+  /// what rack-pool headroom shields must count.
+  [[nodiscard]] Bytes rack_tier_total() const {
+    return rack_pool_total() + neighbor_pool_total();
+  }
   [[nodiscard]] std::int32_t node_total() const;
   [[nodiscard]] std::int64_t gpu_total() const;
 };

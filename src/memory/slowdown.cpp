@@ -19,6 +19,7 @@ double SlowdownModel::tier_coefficient(MemoryTier t) const {
   switch (t) {
     case MemoryTier::kLocal: return 0.0;
     case MemoryTier::kRackPool: return beta_rack;
+    case MemoryTier::kNeighborPool: return beta_neighbor;
     case MemoryTier::kGlobalPool: return beta_global;
   }
   DMSCHED_UNREACHABLE("bad memory tier");
@@ -29,27 +30,32 @@ SlowdownModel SlowdownModel::with_remote_penalty(double k) const {
   if (k == 1.0) return *this;
   SlowdownModel m = *this;
   m.beta_rack = beta_rack * k;
+  m.beta_neighbor = beta_neighbor * k;
   m.beta_global = beta_global * k;
   return m;
 }
 
-double SlowdownModel::dilation(double phi_rack, double phi_global,
-                               MemSensitivity s) const {
-  DMSCHED_ASSERT(phi_rack >= 0.0 && phi_global >= 0.0 &&
-                     phi_rack + phi_global <= 1.0 + 1e-9,
+double SlowdownModel::dilation(double phi_rack, double phi_neighbor,
+                               double phi_global, MemSensitivity s) const {
+  DMSCHED_ASSERT(phi_rack >= 0.0 && phi_neighbor >= 0.0 &&
+                     phi_global >= 0.0 &&
+                     phi_rack + phi_neighbor + phi_global <= 1.0 + 1e-9,
                  "dilation: far fractions outside [0,1]");
   const double mult = sensitivity_multiplier(s);
   // Distance-tier composition: each remote tier contributes its coefficient
   // times its footprint fraction (raised to γ for the saturating kind).
   const double c_rack = tier_coefficient(MemoryTier::kRackPool);
+  const double c_neighbor = tier_coefficient(MemoryTier::kNeighborPool);
   const double c_global = tier_coefficient(MemoryTier::kGlobalPool);
   double penalty = 0.0;
   switch (kind) {
     case Kind::kLinear:
-      penalty = c_rack * phi_rack + c_global * phi_global;
+      penalty = c_rack * phi_rack + c_neighbor * phi_neighbor +
+                c_global * phi_global;
       break;
     case Kind::kSaturating:
       penalty = c_rack * std::pow(phi_rack, gamma) +
+                c_neighbor * std::pow(phi_neighbor, gamma) +
                 c_global * std::pow(phi_global, gamma);
       break;
   }
@@ -61,14 +67,17 @@ double SlowdownModel::dilation_for(const Allocation& alloc,
   const Bytes total = alloc.mem_total();
   if (total.is_zero()) return 1.0;
   const double phi_rack = ratio(alloc.rack_draw_total(), total);
+  const double phi_neighbor = ratio(alloc.neighbor_draw_total(), total);
   const double phi_global = ratio(alloc.global_draw_total(), total);
-  return dilation(phi_rack, phi_global, job.sensitivity);
+  return dilation(phi_rack, phi_neighbor, phi_global, job.sensitivity);
 }
 
-double SlowdownModel::dilation_bytes(Bytes rack_bytes, Bytes global_bytes,
-                                     Bytes total, MemSensitivity s) const {
+double SlowdownModel::dilation_bytes(Bytes rack_bytes, Bytes neighbor_bytes,
+                                     Bytes global_bytes, Bytes total,
+                                     MemSensitivity s) const {
   if (total.is_zero()) return 1.0;
-  return dilation(ratio(rack_bytes, total), ratio(global_bytes, total), s);
+  return dilation(ratio(rack_bytes, total), ratio(neighbor_bytes, total),
+                  ratio(global_bytes, total), s);
 }
 
 double SlowdownModel::worst_case_dilation(const Job& job,

@@ -28,6 +28,12 @@ struct SlowdownModel {
   Kind kind = Kind::kLinear;
   /// Coefficient for bytes served from the job's rack pools.
   double beta_rack = 0.30;
+  /// Coefficient for bytes served from a *neighbor* rack's pool (one
+  /// inter-rack hop beyond the own-rack switch, but short of the global
+  /// fabric). Priced midway between the rack and global coefficients; only
+  /// the shared-neighbors routing ever produces such draws, so this knob is
+  /// unobservable on every published machine.
+  double beta_neighbor = 0.375;
   /// Coefficient for bytes served from the global pool (extra hops).
   double beta_global = 0.45;
   /// Exponent for the saturating kind (ignored for linear).
@@ -41,7 +47,7 @@ struct SlowdownModel {
   [[nodiscard]] double sensitivity_multiplier(MemSensitivity s) const;
 
   /// Distance-tier coefficient: 0 for local, β_rack for the rack tier,
-  /// β_global for the global tier.
+  /// β_neighbor for foreign-rack draws, β_global for the global tier.
   [[nodiscard]] double tier_coefficient(MemoryTier t) const;
 
   /// The same model with every remote-tier coefficient scaled by `k` —
@@ -49,19 +55,34 @@ struct SlowdownModel {
   /// 1.0 returns the model unchanged (bit-for-bit).
   [[nodiscard]] SlowdownModel with_remote_penalty(double k) const;
 
-  /// Dilation factor (>= 1) for far fractions φ_rack and φ_global of the
-  /// job's total footprint. φ's must be in [0,1] and sum to <= 1.
+  /// Dilation factor (>= 1) for far fractions φ_rack, φ_neighbor and
+  /// φ_global of the job's total footprint. φ's must be in [0,1] and sum
+  /// to <= 1.
+  [[nodiscard]] double dilation(double phi_rack, double phi_neighbor,
+                                double phi_global, MemSensitivity s) const;
+
+  /// Two-tier convenience overload (no neighbor draws) — the shape every
+  /// pre-neighbor call site uses; forwards with φ_neighbor = 0.
   [[nodiscard]] double dilation(double phi_rack, double phi_global,
-                                MemSensitivity s) const;
+                                MemSensitivity s) const {
+    return dilation(phi_rack, 0.0, phi_global, s);
+  }
 
   /// Dilation factor for a concrete allocation of `job`.
   [[nodiscard]] double dilation_for(const Allocation& alloc,
                                     const Job& job) const;
 
   /// Dilation factor from byte totals (counted plans, before node ids are
-  /// assigned): `rack_bytes`/`global_bytes` far bytes out of `total`.
+  /// assigned): `rack_bytes`/`neighbor_bytes`/`global_bytes` far bytes out
+  /// of `total`.
+  [[nodiscard]] double dilation_bytes(Bytes rack_bytes, Bytes neighbor_bytes,
+                                      Bytes global_bytes, Bytes total,
+                                      MemSensitivity s) const;
+  /// Two-tier convenience overload (no neighbor draws).
   [[nodiscard]] double dilation_bytes(Bytes rack_bytes, Bytes global_bytes,
-                                      Bytes total, MemSensitivity s) const;
+                                      Bytes total, MemSensitivity s) const {
+    return dilation_bytes(rack_bytes, Bytes{0}, global_bytes, total, s);
+  }
 
   /// Upper bound on the dilation any allocation of `job` can incur (all far
   /// bytes through the global pool). Schedulers use it for conservative

@@ -146,9 +146,26 @@ void PerfettoTraceWriter::on_job_started(const JobStarted& e) {
                 "{\"ph\":\"b\",\"cat\":\"job\",\"id\":%" PRIu32
                 ",\"pid\":%d,\"tid\":%" PRId32 ",\"ts\":%" PRId64
                 ",\"name\":\"job %" PRIu32 "\",\"args\":{\"nodes\":%" PRId32
-                ",\"dilation\":%g,\"far_rack_gib\":%g,\"far_global_gib\":%g}}",
+                ",\"dilation\":%g,\"far_rack_gib\":%g,\"far_neighbor_gib\":%g"
+                ",\"far_global_gib\":%g}}",
                 e.job, kJobsPid, e.rack, e.start.usec(), e.job, e.nodes,
-                e.dilation, e.far_rack_gib, e.far_global_gib);
+                e.dilation, e.far_rack_gib, e.far_neighbor_gib,
+                e.far_global_gib);
+  flush_if_full();
+}
+
+void PerfettoTraceWriter::on_job_migrated(const JobMigrated& e) {
+  // An instant on the rack track at the move's end of the transfer — the
+  // run span itself stays open (the job keeps running, re-priced).
+  event_prelude();
+  append_format(buf_,
+                "{\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%" PRId32
+                ",\"ts\":%" PRId64 ",\"name\":\"%s job %" PRIu32
+                "\",\"args\":{\"gib\":%g,\"dilation_before\":%g"
+                ",\"dilation_after\":%g}}",
+                kJobsPid, e.rack, e.at.usec(),
+                e.demote ? "demote" : "promote", e.job, e.gib,
+                e.dilation_before, e.dilation_after);
   flush_if_full();
 }
 

@@ -65,6 +65,7 @@ class PerfettoTraceWriter final : public TraceSink {
   void on_job_queued(const JobQueued& e) override;
   void on_job_rejected(const JobRejected& e) override;
   void on_job_started(const JobStarted& e) override;
+  void on_job_migrated(const JobMigrated& e) override;
   void on_job_finished(const JobFinished& e) override;
   void on_pass(const PassSpan& e) override;
   void on_gauges(const GaugeSample& e) override;

@@ -23,6 +23,7 @@ class RecordingSink final : public TraceSink {
   std::vector<JobQueued> queued;
   std::vector<JobRejected> rejected;
   std::vector<JobStarted> started;
+  std::vector<JobMigrated> migrated;
   std::vector<JobFinished> finished;
   std::vector<PassSpan> passes;
   std::vector<GaugeSample> gauges;
@@ -34,6 +35,7 @@ class RecordingSink final : public TraceSink {
   void on_job_queued(const JobQueued& e) override { queued.push_back(e); }
   void on_job_rejected(const JobRejected& e) override { rejected.push_back(e); }
   void on_job_started(const JobStarted& e) override { started.push_back(e); }
+  void on_job_migrated(const JobMigrated& e) override { migrated.push_back(e); }
   void on_job_finished(const JobFinished& e) override { finished.push_back(e); }
   void on_pass(const PassSpan& e) override { passes.push_back(e); }
   void on_gauges(const GaugeSample& e) override { gauges.push_back(e); }
@@ -49,6 +51,7 @@ class RecordingSink final : public TraceSink {
     queued.clear();
     rejected.clear();
     started.clear();
+    migrated.clear();
     finished.clear();
     passes.clear();
     gauges.clear();

@@ -76,7 +76,20 @@ struct JobStarted {
   std::int32_t nodes = 0;
   double dilation = 1.0;
   double far_rack_gib = 0.0;
+  double far_neighbor_gib = 0.0;
   double far_global_gib = 0.0;
+};
+
+/// A running job's pooled bytes moved between tiers (migration/) and its
+/// slowdown was re-priced. Emitted on the job's home-rack track.
+struct JobMigrated {
+  std::uint32_t job = 0;
+  SimTime at{};
+  std::int32_t rack = 0;  ///< source pool (demote) or target pool (promote)
+  bool demote = false;    ///< rack → global when true, global → rack else
+  double gib = 0.0;
+  double dilation_before = 1.0;
+  double dilation_after = 1.0;
 };
 
 /// A job finished (its run span closes).
@@ -133,6 +146,7 @@ class TraceSink {
   virtual void on_job_queued(const JobQueued& e) { (void)e; }
   virtual void on_job_rejected(const JobRejected& e) { (void)e; }
   virtual void on_job_started(const JobStarted& e) { (void)e; }
+  virtual void on_job_migrated(const JobMigrated& e) { (void)e; }
   virtual void on_job_finished(const JobFinished& e) { (void)e; }
   virtual void on_pass(const PassSpan& e) { (void)e; }
   virtual void on_gauges(const GaugeSample& e) { (void)e; }

@@ -43,8 +43,8 @@ void ConservativeScheduler::schedule(SchedContext& ctx) {
     const Job& job = ctx.job(id);
     const auto walltime_bound = [&](const TakePlan& plan) {
       const double dilation = ctx.slowdown().dilation_bytes(
-          plan.rack_pool_total(), plan.global_total(), job.total_mem(),
-          job.sensitivity);
+          plan.rack_pool_total(), plan.neighbor_pool_total(),
+          plan.global_total(), job.total_mem(), job.sensitivity);
       return job.walltime.scaled(dilation);
     };
     // Window fitting: the reservation must be feasible for the job's whole

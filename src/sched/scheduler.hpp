@@ -13,6 +13,7 @@
 #include "cluster/cluster.hpp"
 #include "memory/placement.hpp"
 #include "memory/slowdown.hpp"
+#include "migration/migration.hpp"
 #include "topology/topology.hpp"
 #include "workload/job.hpp"
 
@@ -47,6 +48,11 @@ class SchedContext {
   [[nodiscard]] virtual const SlowdownModel& slowdown() const = 0;
   /// The machine's rack-scale memory model (tier capacities, headroom).
   [[nodiscard]] virtual const Topology& topology() const = 0;
+  /// The engine's live-migration policy. Policies may consult it to expect
+  /// re-priced completions (a RunningJob's expected_end can move when the
+  /// engine re-tiers its bytes). The default is the disabled sentinel, so
+  /// hand-built contexts model the static world.
+  [[nodiscard]] virtual MigrationPolicy migration() const { return {}; }
 
   // --- incremental-pass contract (push-based invalidation) ------------------
   // A context MAY expose the engine's persistent availability timeline plus

@@ -21,7 +21,8 @@ enum class EventClass : std::int8_t {
   kCompletion = 0,  ///< job finished / killed — releases resources
   kSubmission = 1,  ///< job arrives in the queue
   kTimer = 2,       ///< metric sampling, periodic hooks
-  kSchedule = 3,    ///< scheduling pass
+  kMigration = 3,   ///< data movement between memory tiers (retier + re-price)
+  kSchedule = 4,    ///< scheduling pass
 };
 
 /// Callback invoked when the event fires; receives the firing time.

@@ -17,6 +17,7 @@ const char* to_string(PoolRouting r) {
     case PoolRouting::kRackOnly: return "rack-only";
     case PoolRouting::kRackThenGlobal: return "rack-then-global";
     case PoolRouting::kGlobalOnly: return "global-only";
+    case PoolRouting::kRackNeighborGlobal: return "rack-neighbor-global";
   }
   return "?";
 }
@@ -26,6 +27,7 @@ const char* to_string(PlacementStrategy s) {
     case PlacementStrategy::kLocalFirst: return "local-first";
     case PlacementStrategy::kBalanced: return "balanced";
     case PlacementStrategy::kGlobalFallback: return "global-fallback";
+    case PlacementStrategy::kSharedNeighbors: return "shared-neighbors";
   }
   return "?";
 }
@@ -40,7 +42,8 @@ std::optional<PlacementStrategy> placement_strategy_from_string(
 
 std::vector<PlacementStrategy> all_placement_strategies() {
   return {PlacementStrategy::kLocalFirst, PlacementStrategy::kBalanced,
-          PlacementStrategy::kGlobalFallback};
+          PlacementStrategy::kGlobalFallback,
+          PlacementStrategy::kSharedNeighbors};
 }
 
 PlacementPolicy make_placement(PlacementStrategy s) {
@@ -51,6 +54,8 @@ PlacementPolicy make_placement(PlacementStrategy s) {
       return {NodeSelection::kSpreadRacks, PoolRouting::kRackThenGlobal};
     case PlacementStrategy::kGlobalFallback:
       return {NodeSelection::kPoolAware, PoolRouting::kRackThenGlobal};
+    case PlacementStrategy::kSharedNeighbors:
+      return {NodeSelection::kPoolAware, PoolRouting::kRackNeighborGlobal};
   }
   return {};
 }

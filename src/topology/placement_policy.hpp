@@ -27,6 +27,10 @@ enum class PoolRouting {
   kRackOnly,       ///< only the racks the job occupies (strict locality)
   kRackThenGlobal, ///< rack pools first, global pool as overflow (default)
   kGlobalOnly,     ///< everything from the global pool (topology ablation)
+  /// Distance-graded: own racks' pools, then *foreign* racks' pools
+  /// (neighbor draws, priced at β_neighbor), then the global tier. The only
+  /// routing that produces cross-rack draws.
+  kRackNeighborGlobal,
 };
 
 [[nodiscard]] const char* to_string(NodeSelection s);
@@ -62,10 +66,16 @@ enum class PlacementStrategy {
   /// as any tier can fund the job — the engine's default, named. Highest
   /// remote-access fraction under contention, lowest queueing.
   kGlobalFallback,
+  /// DOLMA-style distance-graded sharing: pool-aware node choice, deficits
+  /// funded own-rack first, then neighbor racks' pools, then the global
+  /// tier. On rack-scale machines with no (or a thin) global tier this
+  /// recovers most of the jobs local-first must reject.
+  kSharedNeighbors,
 };
 
 [[nodiscard]] const char* to_string(PlacementStrategy s);
-/// Parse "local-first" / "balanced" / "global-fallback"; nullopt otherwise.
+/// Parse "local-first" / "balanced" / "global-fallback" /
+/// "shared-neighbors"; nullopt otherwise.
 [[nodiscard]] std::optional<PlacementStrategy> placement_strategy_from_string(
     const std::string& s);
 /// All strategies in documentation order.

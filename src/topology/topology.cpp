@@ -13,6 +13,7 @@ const char* to_string(MemoryTier t) {
   switch (t) {
     case MemoryTier::kLocal: return "local";
     case MemoryTier::kRackPool: return "rack-pool";
+    case MemoryTier::kNeighborPool: return "neighbor-pool";
     case MemoryTier::kGlobalPool: return "global-pool";
   }
   return "?";
@@ -67,6 +68,10 @@ Bytes Topology::tier_capacity(MemoryTier t) const {
     case MemoryTier::kLocal:
       return config_.local_mem_per_node * config_.total_nodes;
     case MemoryTier::kRackPool:
+      return rack_tier_capacity();
+    case MemoryTier::kNeighborPool:
+      // Neighbor bytes come from the same physical pools as the rack tier;
+      // the tier is a *distance* grade, not extra capacity.
       return rack_tier_capacity();
     case MemoryTier::kGlobalPool:
       return global_tier_capacity();

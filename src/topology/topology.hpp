@@ -23,20 +23,25 @@
 
 namespace dmsched {
 
-/// The three places a byte of a job's footprint can be served from, in
-/// increasing hop distance from the node touching it.
+/// The four places a byte of a job's footprint can be served from, in
+/// increasing hop distance from the node touching it. The neighbor tier is
+/// DOLMA-style distance-graded sharing: bytes drawn from *another* rack's
+/// pool — physically the same pools as kRackPool, but one inter-rack hop
+/// further from the consuming node, so priced between rack and global.
 enum class MemoryTier : std::uint8_t {
-  kLocal = 0,      ///< node-local DRAM (no penalty)
-  kRackPool = 1,   ///< the rack's disaggregated pool (one switch hop)
-  kGlobalPool = 2, ///< the cluster-global tier (multi-hop)
+  kLocal = 0,        ///< node-local DRAM (no penalty)
+  kRackPool = 1,     ///< the rack's own disaggregated pool (one switch hop)
+  kNeighborPool = 2, ///< a foreign rack's pool (one inter-rack hop more)
+  kGlobalPool = 3,   ///< the cluster-global tier (multi-hop)
 };
 
-constexpr std::size_t kMemoryTierCount = 3;
+constexpr std::size_t kMemoryTierCount = 4;
 
 [[nodiscard]] const char* to_string(MemoryTier t);
 
 /// Hop distance of a tier from the consuming node: 0 local, 1 rack, 2
-/// global. The slowdown model's per-tier coefficients are monotone in this.
+/// neighbor rack, 3 global. The slowdown model's per-tier coefficients are
+/// monotone in this.
 [[nodiscard]] constexpr std::int32_t tier_distance(MemoryTier t) {
   return static_cast<std::int32_t>(t);
 }

@@ -261,6 +261,24 @@ ScenarioStream stream_rack_local(const ScenarioParams& p) {
   return model_scenario_stream(rack_local_recipe(), p);
 }
 
+/// The rack-local machine with a thin global tier bolted on: the same
+/// 128 GiB rack pools and the same workload (seed and reference node
+/// included), so the strict-locality rejection rate carries over verbatim —
+/// and the distance-graded `shared-neighbors` strategy can be measured
+/// recovering those rejections through neighbor-rack draws (one extra hop)
+/// instead of shedding them. Backs tests/golden/shared_neighbors_test.cpp
+/// and the migration knobs' demonstration scenario.
+ModelRecipe shared_neighbors_recipe() {
+  return {make_cluster("shared-neighbors", 48, 8, 64, 128, 96),
+          WorkloadModel::kCapacity, gib(std::int64_t{128})};
+}
+Scenario build_shared_neighbors(const ScenarioParams& p) {
+  return model_scenario(shared_neighbors_recipe(), p);
+}
+ScenarioStream stream_shared_neighbors(const ScenarioParams& p) {
+  return model_scenario_stream(shared_neighbors_recipe(), p);
+}
+
 /// Both distance tiers present and under pressure: scarce local memory, a
 /// modest rack tier, and a global tier big enough to start jobs early but
 /// expensive enough to regret it. This is the scenario where the named
@@ -602,6 +620,17 @@ const std::vector<ScenarioEntry>& registry() {
         "without a global tier"},
        {500, 23, 1.0},
        &build_rack_local, &stream_rack_local},
+      {{"shared-neighbors",
+        "the rack-local machine plus a thin 96 GiB global tier, same "
+        "workload seed: strict locality sheds the same jobs, while the "
+        "rack-neighbor-global routing funds them from foreign rack pools "
+        "one extra hop away (DOLMA-style distance-graded sharing)",
+        "fig. 4 extension (tests/golden/shared_neighbors_test)",
+        "shared-neighbors recovers most of local-first's rejections at a "
+        "beta_neighbor-priced dilation; migration knobs re-tier the "
+        "recovered bytes at runtime"},
+       {500, 23, 1.0},
+       &build_shared_neighbors, &stream_shared_neighbors},
       {{"tiered-contended",
         "scarce local memory with a contended rack tier AND a global tier: "
         "the regime where placement strategies diverge",

@@ -69,6 +69,7 @@ const char* strategy_token(PlacementStrategy s) {
     case PlacementStrategy::kLocalFirst: return "kLocalFirst";
     case PlacementStrategy::kBalanced: return "kBalanced";
     case PlacementStrategy::kGlobalFallback: return "kGlobalFallback";
+    case PlacementStrategy::kSharedNeighbors: return "kSharedNeighbors";
   }
   return "?";
 }

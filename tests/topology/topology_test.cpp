@@ -35,6 +35,10 @@ TEST(TopologyModel, TierCapacitiesComeFromTheConfig) {
   EXPECT_EQ(t.global_tier_capacity(), gib(std::int64_t{128}));
   EXPECT_EQ(t.tier_capacity(MemoryTier::kLocal), gib(std::int64_t{64 * 16}));
   EXPECT_EQ(t.tier_capacity(MemoryTier::kRackPool), gib(std::int64_t{128}));
+  // The neighbor tier is a distance grade over the same physical pools, so
+  // its capacity is the rack tier's.
+  EXPECT_EQ(t.tier_capacity(MemoryTier::kNeighborPool),
+            gib(std::int64_t{128}));
   EXPECT_EQ(t.tier_capacity(MemoryTier::kGlobalPool), gib(std::int64_t{128}));
   EXPECT_TRUE(t.has_rack_tier());
   EXPECT_TRUE(t.has_global_tier());
@@ -45,7 +49,8 @@ TEST(TopologyModel, DistancesAreMonotoneInHops) {
   const Topology t(machine(16, 64.0, 32.0, 128.0));
   EXPECT_EQ(tier_distance(MemoryTier::kLocal), 0);
   EXPECT_EQ(tier_distance(MemoryTier::kRackPool), 1);
-  EXPECT_EQ(tier_distance(MemoryTier::kGlobalPool), 2);
+  EXPECT_EQ(tier_distance(MemoryTier::kNeighborPool), 2);
+  EXPECT_EQ(tier_distance(MemoryTier::kGlobalPool), 3);
   EXPECT_EQ(t.rack_distance(1, 1), 0);
   EXPECT_EQ(t.rack_distance(0, 3), 1);
   EXPECT_EQ(t.rack_of(0), 0);
@@ -236,6 +241,7 @@ TEST(FlattenToGlobal, MovesAllCapacityToTheGlobalTier) {
 TEST(MemoryTierNames, RoundTrip) {
   EXPECT_STREQ(to_string(MemoryTier::kLocal), "local");
   EXPECT_STREQ(to_string(MemoryTier::kRackPool), "rack-pool");
+  EXPECT_STREQ(to_string(MemoryTier::kNeighborPool), "neighbor-pool");
   EXPECT_STREQ(to_string(MemoryTier::kGlobalPool), "global-pool");
 }
 

@@ -39,10 +39,11 @@ void expect_same_trace(const Trace& a, const Trace& b) {
 TEST(ScenarioRegistry, ListsTheStandardLibrary) {
   const auto names = scenario_names();
   const std::vector<std::string> expected = {
-      "golden-baseline",  "memory-stressed", "pool-contended",
-      "bursty-arrivals",  "wide-jobs",       "rack-local",
-      "tiered-contended", "gpu-contended",   "bb-staging",
-      "mixed-swf",        "large-replay",    "million-replay"};
+      "golden-baseline",  "memory-stressed",  "pool-contended",
+      "bursty-arrivals",  "wide-jobs",        "rack-local",
+      "shared-neighbors", "tiered-contended", "gpu-contended",
+      "bb-staging",       "mixed-swf",        "large-replay",
+      "million-replay"};
   EXPECT_EQ(names, expected);
   for (const std::string& name : names) {
     EXPECT_TRUE(scenario_exists(name)) << name;

@@ -80,7 +80,7 @@ void write_windows_csv(const std::string& path, const RunMetrics& m) {
   csv.header({"start_s", "end_s", "mean_busy_nodes", "mean_queued_jobs",
               "busy_node_seconds", "rack_pool_gib_seconds",
               "global_pool_gib_seconds", "submitted", "started", "finished",
-              "rejected"});
+              "rejected", "migrated", "migrated_gib"});
   for (const MetricsWindow& w : m.windows) {
     csv.add(w.start.seconds())
         .add(w.end.seconds())
@@ -92,7 +92,9 @@ void write_windows_csv(const std::string& path, const RunMetrics& m) {
         .add(w.jobs_submitted)
         .add(w.jobs_started)
         .add(w.jobs_finished)
-        .add(w.jobs_rejected);
+        .add(w.jobs_rejected)
+        .add(w.jobs_migrated)
+        .add(w.migrated_gib);
     csv.end_row();
   }
 }
@@ -170,12 +172,13 @@ int main(int argc, char** argv) {
   cli.add_string("queue-order", "fcfs", "fcfs|sjf|largest|wfp");
   cli.add_string("placement", "",
                  "named placement strategy: local-first|balanced|"
-                 "global-fallback (preset for --selection/--routing, which "
-                 "override it individually)");
+                 "global-fallback|shared-neighbors (preset for "
+                 "--selection/--routing, which override it individually)");
   cli.add_string("selection", "pool-aware",
                  "first-fit|pack-racks|spread-racks|pool-aware");
   cli.add_string("routing", "rack-then-global",
-                 "rack-only|rack-then-global|global-only");
+                 "rack-only|rack-then-global|rack-neighbor-global|"
+                 "global-only");
   cli.add_string("backfill-order", "queue-order",
                  "queue-order|shortest-first|best-mem-fit");
   cli.add_int("reservation-depth", 1, "EASY-K protected reservations");
@@ -187,6 +190,9 @@ int main(int argc, char** argv) {
   // slowdown model
   cli.add_string("slowdown", "linear", "linear|saturating");
   cli.add_double("beta-rack", 0.30, "rack-pool penalty coefficient");
+  cli.add_double("beta-neighbor", 0.375,
+                 "neighbor-rack-pool penalty coefficient (draws served by a "
+                 "rack hosting none of the job's nodes)");
   cli.add_double("beta-global", 0.45, "global-pool penalty coefficient");
   cli.add_double("gamma", 0.7, "saturating-model exponent");
   // engine
@@ -205,6 +211,19 @@ int main(int argc, char** argv) {
   cli.add_int("checkpoint-interval-min", 0,
               "emit windowed metric checkpoints at this interval "
               "(0 = off; see --csv-windows)");
+  // migration (all knobs behind the 0-sentinel: off by default)
+  cli.add_int("migrate-interval-min", 0,
+              "scan running jobs for tier moves at this interval (0 = "
+              "migration off)");
+  cli.add_double("migrate-demote-frac", 0.85,
+                 "rack-pool used fraction above which its draws demote to "
+                 "the global tier");
+  cli.add_double("migrate-hysteresis", 0.25,
+                 "promotion headroom: global bytes promote back only into "
+                 "pools below demote-frac minus this");
+  cli.add_double("migrate-gibps", 0.0,
+                 "migration copy bandwidth in GiB/s (0 = moves apply "
+                 "instantly at the scan)");
   // outputs
   cli.add_string("csv-jobs", "", "write per-job outcomes to this CSV");
   cli.add_string("csv-series", "", "write the time series to this CSV");
@@ -365,7 +384,8 @@ int main(int argc, char** argv) {
     if (!strategy) {
       std::fprintf(stderr,
                    "error: unknown placement strategy \"%s\" (known: "
-                   "local-first, balanced, global-fallback)\n",
+                   "local-first, balanced, global-fallback, "
+                   "shared-neighbors)\n",
                    name.c_str());
       return 1;
     }
@@ -384,6 +404,7 @@ int main(int argc, char** argv) {
     config.engine.placement.routing = [&] {
       const std::string s = cli.get_string("routing");
       if (s == "rack-only") return PoolRouting::kRackOnly;
+      if (s == "rack-neighbor-global") return PoolRouting::kRackNeighborGlobal;
       if (s == "global-only") return PoolRouting::kGlobalOnly;
       return PoolRouting::kRackThenGlobal;
     }();
@@ -392,6 +413,7 @@ int main(int argc, char** argv) {
                                     ? SlowdownModel::Kind::kSaturating
                                     : SlowdownModel::Kind::kLinear;
   config.engine.slowdown.beta_rack = cli.get_double("beta-rack");
+  config.engine.slowdown.beta_neighbor = cli.get_double("beta-neighbor");
   config.engine.slowdown.beta_global = cli.get_double("beta-global");
   config.engine.slowdown.gamma = cli.get_double("gamma");
   if (scenario || stream) {
@@ -407,6 +429,15 @@ int main(int argc, char** argv) {
   if (cli.get_int("checkpoint-interval-min") > 0) {
     config.engine.checkpoint_interval =
         minutes(cli.get_int("checkpoint-interval-min"));
+  }
+  if (cli.get_int("migrate-interval-min") > 0) {
+    config.engine.migration.check_interval =
+        minutes(cli.get_int("migrate-interval-min"));
+    config.engine.migration.demote_threshold =
+        cli.get_double("migrate-demote-frac");
+    config.engine.migration.promote_headroom =
+        cli.get_double("migrate-hysteresis");
+    config.engine.migration.bandwidth_gibps = cli.get_double("migrate-gibps");
   }
 
   Trace trace;
@@ -556,6 +587,12 @@ int main(int argc, char** argv) {
               100.0 * m.remote_access_fraction,
               100.0 * m.global_access_fraction,
               100.0 * m.rack_pool_busiest_peak);
+  if (m.neighbor_access_fraction > 0.0 || m.demotions + m.promotions > 0) {
+    std::printf("migrate   neighbor access %.1f%% of bytes, "
+                "%zu demoted (%.0f GiB), %zu promoted (%.0f GiB), %.1f/h\n",
+                100.0 * m.neighbor_access_fraction, m.demotions, m.demoted_gib,
+                m.promotions, m.promoted_gib, m.migrations_per_hour);
+  }
   std::printf("thruput   %.1f jobs/h\n", m.jobs_per_hour);
 
   if (cli.get_flag("fairness")) {
